@@ -1,0 +1,136 @@
+package charles
+
+// One benchmark per reproduction experiment E1–E11 (see DESIGN.md's
+// experiment index and EXPERIMENTS.md for paper-vs-measured). Each bench
+// regenerates the corresponding paper artifact end to end; run with
+//
+//	go test -bench=. -benchmem
+//
+// The heavyweight sweeps (E6 full scale, E10) use the quick configuration
+// inside the timing loop and report the full-scale numbers via
+// cmd/charles-bench.
+
+import (
+	"testing"
+
+	"charles/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string, quick bool) {
+	cfg := experiments.Config{Quick: quick}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Run(id, cfg)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(rep.Values) == 0 {
+			b.Fatalf("%s produced no values", id)
+		}
+	}
+}
+
+// BenchmarkE1ToyRecovery — Fig 1 + Fig 2 + Example 1: recover R1–R3 from
+// the toy snapshots and render the linear model tree.
+func BenchmarkE1ToyRecovery(b *testing.B) { benchExperiment(b, "E1", true) }
+
+// BenchmarkE2RankedSummaries — demo step 8: the ranked top-10 list.
+func BenchmarkE2RankedSummaries(b *testing.B) { benchExperiment(b, "E2", true) }
+
+// BenchmarkE3AttributeSelection — demo steps 4–5: the setup assistant.
+func BenchmarkE3AttributeSelection(b *testing.B) { benchExperiment(b, "E3", true) }
+
+// BenchmarkE4Treemap — demo step 10: the partition treemap.
+func BenchmarkE4Treemap(b *testing.B) { benchExperiment(b, "E4", true) }
+
+// BenchmarkE5AlphaSweep — §2: the accuracy–interpretability tradeoff.
+func BenchmarkE5AlphaSweep(b *testing.B) { benchExperiment(b, "E5", true) }
+
+// BenchmarkE6Montgomery — §3: the Montgomery County payroll scenario.
+func BenchmarkE6Montgomery(b *testing.B) { benchExperiment(b, "E6", true) }
+
+// BenchmarkE7SearchSpace — §2: search-space growth in c and t.
+func BenchmarkE7SearchSpace(b *testing.B) { benchExperiment(b, "E7", true) }
+
+// BenchmarkE8Baselines — §1: ChARLES vs global regression, cell list,
+// no-change, and update distance.
+func BenchmarkE8Baselines(b *testing.B) { benchExperiment(b, "E8", true) }
+
+// BenchmarkE9Noise — robustness to noise and unchanged rows.
+func BenchmarkE9Noise(b *testing.B) { benchExperiment(b, "E9", true) }
+
+// BenchmarkE10Scalability — runtime growth in rows.
+func BenchmarkE10Scalability(b *testing.B) { benchExperiment(b, "E10", true) }
+
+// BenchmarkE11Billionaires — §3: the Forbes-billionaires scenario.
+func BenchmarkE11Billionaires(b *testing.B) { benchExperiment(b, "E11", true) }
+
+// BenchmarkE12Ablation — every engine design choice removed in turn.
+func BenchmarkE12Ablation(b *testing.B) { benchExperiment(b, "E12", true) }
+
+// BenchmarkE13Nonlinear — the nonlinear feature extension vs linear-only.
+func BenchmarkE13Nonlinear(b *testing.B) { benchExperiment(b, "E13", true) }
+
+// ---- micro-benchmarks of the pipeline stages ----
+
+// BenchmarkSummarizeToy times the end-to-end engine on the 9-row toy data
+// (the latency a demo user experiences per click).
+func BenchmarkSummarizeToy(b *testing.B) {
+	src, tgt := ToyDataset()
+	opts := DefaultOptions("bonus")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Summarize(src, tgt, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSummarize2k times the engine on a 2 000-row planted dataset with
+// fixed attribute pools — the per-candidate cost driver.
+func BenchmarkSummarize2k(b *testing.B) {
+	d, err := PlantedDataset(PlantedConfig{N: 2000, Seed: 13, Rules: 3, RuleDepth: 2, UnchangedFrac: 0.3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := DefaultOptions(d.Target)
+	opts.CondAttrs = d.CondAttrs
+	opts.TranAttrs = d.TranAttrs
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Summarize(d.Src, d.Tgt, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAlign times snapshot alignment alone (key index + row matching).
+func BenchmarkAlign(b *testing.B) {
+	d, err := MontgomeryDataset(7, 5000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Align(d.Src, d.Tgt.Clone()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSuggestAttributes times the setup assistant on realistic data.
+func BenchmarkSuggestAttributes(b *testing.B) {
+	d, err := MontgomeryDataset(7, 5000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := SuggestAttributes(d.Src, d.Tgt, d.Target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Command charles-bench runs the reproduction experiments E1–E11 (one per
+// paper figure/artifact plus the robustness and scalability studies; see
+// DESIGN.md) and prints their reports. It is the source of the measured
+// numbers recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	charles-bench            # run everything at paper scale
+//	charles-bench -quick     # small sizes (seconds)
+//	charles-bench -run E6    # one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"charles/internal/experiments"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "shrink data sizes so the suite runs in seconds")
+		run   = flag.String("run", "", "run only the experiment with this id (e.g. E6)")
+	)
+	flag.Parse()
+	cfg := experiments.Config{Quick: *quick}
+
+	if *run != "" {
+		rep, err := experiments.Run(*run, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(rep.String())
+		return
+	}
+	for _, r := range experiments.All() {
+		rep, err := r.Run(cfg)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", r.ID, err))
+		}
+		fmt.Print(rep.String())
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "charles-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,209 @@
+// Command charles-store manages a snapshot version store and summarizes
+// changes between stored versions — the ChARLES engine bolted onto an
+// OrpheusDB-style lineage.
+//
+// Usage:
+//
+//	charles-store -dir .charles commit   -csv 2016.csv -key name [-parent <id>] [-m "2016 snapshot"]
+//	charles-store -dir .charles log
+//	charles-store -dir .charles checkout -id <id> -out snapshot.csv
+//	charles-store -dir .charles diff      -from <id> -to <id> -target bonus
+//	charles-store -dir .charles summarize -from <id> -to <id> -target bonus [-alpha 0.5] [-topk 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	charles "charles"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	// Global flags may precede the subcommand.
+	fs := flag.NewFlagSet("charles-store", flag.ExitOnError)
+	dir := fs.String("dir", ".charles-store", "store directory")
+	// Find the subcommand: first non-flag argument.
+	args := os.Args[1:]
+	var sub string
+	var rest []string
+	for i := 0; i < len(args); i++ {
+		if args[i] == "-dir" && i+1 < len(args) {
+			if err := fs.Parse(args[i : i+2]); err != nil {
+				fatal(err)
+			}
+			i++
+			continue
+		}
+		if sub == "" {
+			sub = args[i]
+			continue
+		}
+		rest = append(rest, args[i])
+	}
+	if sub == "" {
+		usage()
+	}
+	st, err := charles.OpenStore(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	switch sub {
+	case "commit":
+		cmdCommit(st, rest)
+	case "log":
+		cmdLog(st)
+	case "checkout":
+		cmdCheckout(st, rest)
+	case "diff":
+		cmdDiff(st, rest)
+	case "summarize":
+		cmdSummarize(st, rest)
+	default:
+		fmt.Fprintf(os.Stderr, "charles-store: unknown subcommand %q\n", sub)
+		usage()
+	}
+}
+
+func cmdCommit(st *charles.VersionStore, args []string) {
+	fs := flag.NewFlagSet("commit", flag.ExitOnError)
+	csvPath := fs.String("csv", "", "snapshot CSV to commit")
+	key := fs.String("key", "", "comma-separated primary-key column(s)")
+	parent := fs.String("parent", "", "parent version id (empty for a root)")
+	msg := fs.String("m", "", "commit message")
+	mustParse(fs, args)
+	if *csvPath == "" || *key == "" {
+		fatal(fmt.Errorf("commit needs -csv and -key"))
+	}
+	t, err := charles.LoadCSV(*csvPath, splitList(*key)...)
+	if err != nil {
+		fatal(err)
+	}
+	v, err := st.Commit(t, *parent, *msg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("committed %s (%d rows, %d cols, seq %d)\n", v.ID, v.Rows, v.Cols, v.Seq)
+}
+
+func cmdLog(st *charles.VersionStore) {
+	for _, v := range st.Log() {
+		parent := v.Parent
+		if parent == "" {
+			parent = "-"
+		}
+		fmt.Printf("%s  seq=%-3d parent=%-12s rows=%-7d %s\n", v.ID, v.Seq, parent, v.Rows, v.Message)
+	}
+}
+
+func cmdCheckout(st *charles.VersionStore, args []string) {
+	fs := flag.NewFlagSet("checkout", flag.ExitOnError)
+	id := fs.String("id", "", "version id")
+	out := fs.String("out", "", "output CSV path")
+	mustParse(fs, args)
+	if *id == "" || *out == "" {
+		fatal(fmt.Errorf("checkout needs -id and -out"))
+	}
+	t, err := st.Checkout(*id)
+	if err != nil {
+		fatal(err)
+	}
+	if err := charles.SaveCSV(*out, t); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d rows)\n", *out, t.NumRows())
+}
+
+func cmdDiff(st *charles.VersionStore, args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	from := fs.String("from", "", "source version id")
+	to := fs.String("to", "", "target version id")
+	target := fs.String("target", "", "attribute to diff (empty = all)")
+	mustParse(fs, args)
+	if *from == "" || *to == "" {
+		fatal(fmt.Errorf("diff needs -from and -to"))
+	}
+	a, err := st.Diff(*from, *to)
+	if err != nil {
+		fatal(err)
+	}
+	if *target != "" {
+		changes, err := a.Changes(*target, 1e-9)
+		if err != nil {
+			fatal(err)
+		}
+		for _, ch := range changes {
+			k, _ := a.Source.KeyOf(ch.SrcRow)
+			fmt.Printf("%s: %s %v -> %v\n", k, ch.Attr, ch.Old, ch.New)
+		}
+		fmt.Printf("%d changed cells of %s\n", len(changes), *target)
+		return
+	}
+	ud, err := a.UpdateDistance(1e-9)
+	if err != nil {
+		fatal(err)
+	}
+	attrs, err := a.ChangedAttrs(1e-9)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("update distance: %d cell modifications across %v\n", ud, attrs)
+}
+
+func cmdSummarize(st *charles.VersionStore, args []string) {
+	fs := flag.NewFlagSet("summarize", flag.ExitOnError)
+	from := fs.String("from", "", "source version id")
+	to := fs.String("to", "", "target version id")
+	target := fs.String("target", "", "numeric attribute to explain")
+	alpha := fs.Float64("alpha", 0.5, "accuracy weight α")
+	topk := fs.Int("topk", 10, "summaries to return")
+	tree := fs.Bool("tree", false, "render the top summary as a tree")
+	mustParse(fs, args)
+	if *from == "" || *to == "" || *target == "" {
+		fatal(fmt.Errorf("summarize needs -from, -to and -target"))
+	}
+	opts := charles.DefaultOptions(*target)
+	opts.Alpha = *alpha
+	opts.TopK = *topk
+	ranked, err := st.Summarize(*from, *to, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(charles.RenderRanked(ranked))
+	if *tree && len(ranked) > 0 {
+		fmt.Print(charles.RenderTree(ranked[0].Summary))
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func mustParse(fs *flag.FlagSet, args []string) {
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: charles-store [-dir DIR] {commit|log|checkout|diff|summarize} [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "charles-store:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,56 @@
+// Quickstart: reproduce the paper's running example end to end.
+//
+// It loads the two employee snapshots of Figure 1 (2016, 2017), asks the
+// setup assistant for attribute suggestions, summarizes the evolution of
+// the bonus attribute, and prints the ranked summaries, the linear model
+// tree of Figure 2, and the partition treemap of demo step 10.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	charles "charles"
+)
+
+func main() {
+	// Step 1 (demo): "upload" the two dataset versions.
+	src, tgt := charles.ToyDataset()
+	fmt.Println("2016 snapshot:")
+	fmt.Println(src)
+	fmt.Println("2017 snapshot:")
+	fmt.Println(tgt)
+
+	// Steps 4-5: the setup assistant ranks candidate attributes.
+	cond, tran, err := charles.SuggestAttributes(src, tgt, "bonus")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("condition attribute candidates:")
+	for _, s := range cond {
+		fmt.Printf("  %-8s %.3f\n", s.Attr, s.Score)
+	}
+	fmt.Println("transformation attribute candidates:")
+	for _, s := range tran {
+		fmt.Printf("  %-8s %.3f\n", s.Attr, s.Score)
+	}
+	fmt.Println()
+
+	// Steps 2-3 and 6-8: target = bonus, c = 3, t = 2, α = 0.5, top-10.
+	opts := charles.DefaultOptions("bonus")
+	ranked, err := charles.Summarize(src, tgt, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ranked change summaries:")
+	fmt.Print(charles.RenderRanked(ranked))
+
+	// Steps 9-10: drill into the top summary.
+	top := ranked[0].Summary
+	fmt.Println("\nlinear model tree (paper Figure 2):")
+	fmt.Print(charles.RenderTree(top))
+	fmt.Println("\npartition treemap (demo step 10):")
+	fmt.Print(charles.RenderTreemap(top, 45))
+}

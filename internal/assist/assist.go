@@ -1,0 +1,164 @@
+// Package assist implements the ChARLES setup assistant: it estimates the
+// influence of every attribute on the target attribute via correlation
+// analysis and shortlists the most promising condition and transformation
+// attributes (paper §2 and demo steps 4–5), so users unfamiliar with the
+// schema get sensible defaults.
+package assist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"charles/internal/diff"
+	"charles/internal/stats"
+	"charles/internal/table"
+)
+
+// DefaultThreshold is the correlation cutoff for the shortlist (paper: 0.5).
+const DefaultThreshold = 0.5
+
+// Suggestion is one ranked candidate attribute.
+type Suggestion struct {
+	Attr    string
+	Score   float64 // |correlation| with the observed change, in [0,1]
+	Numeric bool
+}
+
+// SuggestCondition ranks attributes by how strongly they associate with the
+// *observed change* of the target attribute (Δ = new − old over changed
+// rows): numeric attributes by |Pearson r|, categorical ones by the
+// correlation ratio η. Ranking against Δ rather than the raw target follows
+// the paper's goal — condition attributes should explain *why a change
+// happened*, and a flat target correlation cannot separate that.
+func SuggestCondition(a *diff.Aligned, target string, tol float64) ([]Suggestion, error) {
+	oldVals, newVals, err := a.Delta(target)
+	if err != nil {
+		return nil, err
+	}
+	changed, err := a.ChangedMask(target, tol)
+	if err != nil {
+		return nil, err
+	}
+	// Δ per row; unchanged rows contribute Δ = 0, which carries signal too
+	// (conditions must separate changed from unchanged rows).
+	delta := make([]float64, len(oldVals))
+	for r := range delta {
+		if changed[r] {
+			delta[r] = newVals[r] - oldVals[r]
+		}
+	}
+	keySet := map[string]bool{}
+	for _, k := range a.Source.Key() {
+		keySet[k] = true
+	}
+	var out []Suggestion
+	for _, f := range a.Source.Schema() {
+		if keySet[f.Name] || f.Name == target {
+			continue
+		}
+		col := a.Source.MustColumn(f.Name)
+		var s Suggestion
+		s.Attr = f.Name
+		if f.Type.Numeric() {
+			s.Numeric = true
+			s.Score = math.Abs(stats.Pearson(col.Floats(), delta))
+		} else {
+			cats := make([]string, col.Len())
+			for r := range cats {
+				cats[r] = col.Str(r)
+			}
+			s.Score = stats.CorrelationRatio(cats, delta)
+		}
+		out = append(out, s)
+	}
+	sortSuggestions(out)
+	return out, nil
+}
+
+// SuggestTransformation ranks the numeric attributes (source-snapshot
+// values, including the target's own previous value) by |Pearson r| with
+// the target's *new* value — these are the candidates for the right-hand
+// side of the linear transformation.
+func SuggestTransformation(a *diff.Aligned, target string, tol float64) ([]Suggestion, error) {
+	_, newVals, err := a.Delta(target)
+	if err != nil {
+		return nil, err
+	}
+	keySet := map[string]bool{}
+	for _, k := range a.Source.Key() {
+		keySet[k] = true
+	}
+	var out []Suggestion
+	for _, f := range a.Source.Schema() {
+		if keySet[f.Name] || !f.Type.Numeric() {
+			continue
+		}
+		col := a.Source.MustColumn(f.Name)
+		out = append(out, Suggestion{
+			Attr:    f.Name,
+			Numeric: true,
+			Score:   math.Abs(stats.Pearson(col.Floats(), newVals)),
+		})
+	}
+	sortSuggestions(out)
+	return out, nil
+}
+
+// Shortlist applies the paper's default policy: keep attributes whose score
+// exceeds threshold, capped at max entries; when fewer than min survive the
+// threshold, backfill with the next best so the engine always has something
+// to work with.
+func Shortlist(sugs []Suggestion, threshold float64, max, min int) []string {
+	if max <= 0 {
+		max = len(sugs)
+	}
+	var out []string
+	for _, s := range sugs {
+		if s.Score > threshold && len(out) < max {
+			out = append(out, s.Attr)
+		}
+	}
+	for _, s := range sugs {
+		if len(out) >= min || len(out) >= max {
+			break
+		}
+		if !contains(out, s.Attr) {
+			out = append(out, s.Attr)
+		}
+	}
+	return out
+}
+
+// Validate checks that attrs exist in t and (for transformation candidates)
+// are numeric.
+func Validate(t *table.Table, attrs []string, needNumeric bool) error {
+	for _, aName := range attrs {
+		col, err := t.Column(aName)
+		if err != nil {
+			return err
+		}
+		if needNumeric && !col.Type.Numeric() {
+			return fmt.Errorf("assist: attribute %q is %s, need numeric", aName, col.Type)
+		}
+	}
+	return nil
+}
+
+func sortSuggestions(out []Suggestion) {
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Attr < out[j].Attr
+	})
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

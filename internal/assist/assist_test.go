@@ -1,0 +1,120 @@
+package assist
+
+import (
+	"testing"
+
+	"charles/internal/diff"
+	"charles/internal/gen"
+)
+
+func alignedToy(t *testing.T) *diff.Aligned {
+	t.Helper()
+	src, tgt := gen.Toy()
+	a, err := diff.Align(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestSuggestConditionRanksEduFirst(t *testing.T) {
+	a := alignedToy(t)
+	sugs, err := SuggestCondition(a, "bonus", 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sugs) == 0 || sugs[0].Attr != "edu" {
+		t.Fatalf("top condition suggestion = %+v, want edu", sugs)
+	}
+	// Target and key never appear.
+	for _, s := range sugs {
+		if s.Attr == "bonus" || s.Attr == "name" {
+			t.Errorf("suggestion includes %q", s.Attr)
+		}
+	}
+	// Scores sorted descending.
+	for i := 1; i < len(sugs); i++ {
+		if sugs[i].Score > sugs[i-1].Score {
+			t.Error("suggestions not sorted")
+		}
+	}
+}
+
+func TestSuggestTransformationNumericOnly(t *testing.T) {
+	a := alignedToy(t)
+	sugs, err := SuggestTransformation(a, "bonus", 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sugs {
+		if !s.Numeric {
+			t.Errorf("non-numeric transformation candidate %q", s.Attr)
+		}
+		if s.Attr == "edu" || s.Attr == "gen" {
+			t.Errorf("categorical attribute %q suggested for transformation", s.Attr)
+		}
+	}
+	// bonus (previous value) and salary must be the top two (demo step 5).
+	if len(sugs) < 2 {
+		t.Fatal("too few suggestions")
+	}
+	top2 := map[string]bool{sugs[0].Attr: true, sugs[1].Attr: true}
+	if !top2["bonus"] || !top2["salary"] {
+		t.Errorf("top-2 transformation attrs = %v, want {bonus, salary}", top2)
+	}
+}
+
+func TestSuggestUnknownTarget(t *testing.T) {
+	a := alignedToy(t)
+	if _, err := SuggestCondition(a, "ghost", 1e-9); err == nil {
+		t.Error("unknown target accepted")
+	}
+	if _, err := SuggestTransformation(a, "ghost", 1e-9); err == nil {
+		t.Error("unknown target accepted")
+	}
+}
+
+func TestShortlistThresholdAndBackfill(t *testing.T) {
+	sugs := []Suggestion{
+		{Attr: "a", Score: 0.9},
+		{Attr: "b", Score: 0.7},
+		{Attr: "c", Score: 0.2},
+		{Attr: "d", Score: 0.1},
+	}
+	// Threshold alone.
+	got := Shortlist(sugs, 0.5, 4, 0)
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("threshold shortlist = %v", got)
+	}
+	// Backfill to min when the threshold is too strict.
+	got = Shortlist(sugs, 0.95, 4, 3)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("backfilled shortlist = %v", got)
+	}
+	// Max caps even above-threshold entries.
+	got = Shortlist(sugs, 0.1, 1, 1)
+	if len(got) != 1 || got[0] != "a" {
+		t.Errorf("capped shortlist = %v", got)
+	}
+	// max ≤ 0 means no cap.
+	got = Shortlist(sugs, 0.0, 0, 0)
+	if len(got) != 4 {
+		t.Errorf("uncapped shortlist = %v", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	a := alignedToy(t)
+	if err := Validate(a.Source, []string{"edu", "exp"}, false); err != nil {
+		t.Errorf("valid attrs rejected: %v", err)
+	}
+	if err := Validate(a.Source, []string{"ghost"}, false); err == nil {
+		t.Error("unknown attr accepted")
+	}
+	if err := Validate(a.Source, []string{"edu"}, true); err == nil {
+		t.Error("categorical attr accepted as numeric")
+	}
+	if err := Validate(a.Source, []string{"salary"}, true); err != nil {
+		t.Errorf("numeric attr rejected: %v", err)
+	}
+}

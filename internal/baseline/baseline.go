@@ -1,0 +1,142 @@
+// Package baseline implements the comparison points discussed in the
+// paper's introduction and related work, all expressed in the same Summary
+// representation so they can be scored with the ChARLES Score(S):
+//
+//   - GlobalRegression — a single unconditional linear transformation (the
+//     "R4: everyone gets about 6%" style summary);
+//   - CellList — the exhaustive change log: one CT per changed row
+//     (maximally precise, minimally interpretable);
+//   - NoChange — the empty summary (predicts the source unchanged);
+//   - UpdateDistanceSummary — the Müller et al. update-distance view,
+//     reported as a count rather than a summary.
+package baseline
+
+import (
+	"fmt"
+
+	"charles/internal/diff"
+	"charles/internal/model"
+	"charles/internal/predicate"
+	"charles/internal/regress"
+	"charles/internal/table"
+)
+
+// GlobalRegression fits one linear model over all changed rows — no
+// partitioning — mirroring the paper's R4-style summary.
+func GlobalRegression(a *diff.Aligned, target string, tranAttrs []string, tol float64) (*model.Summary, error) {
+	oldVals, newVals, err := a.Delta(target)
+	if err != nil {
+		return nil, err
+	}
+	changed, err := a.ChangedMask(target, tol)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]*table.Column, len(tranAttrs))
+	for j, name := range tranAttrs {
+		c, err := a.Source.Column(name)
+		if err != nil {
+			return nil, err
+		}
+		if !c.Type.Numeric() {
+			return nil, fmt.Errorf("baseline: transformation attribute %q is not numeric", name)
+		}
+		cols[j] = c
+	}
+	var x [][]float64
+	var y []float64
+	for r := range changed {
+		if !changed[r] {
+			continue
+		}
+		row := make([]float64, len(cols))
+		for j, c := range cols {
+			row[j] = c.Float(r)
+		}
+		x = append(x, row)
+		y = append(y, newVals[r])
+	}
+	sum := &model.Summary{Target: target, TranAttrs: tranAttrs}
+	if len(y) == 0 {
+		return sum, nil // nothing changed: empty summary
+	}
+	m, err := regress.Fit(x, y, regress.DefaultOptions())
+	if err != nil {
+		// Degenerate: fall back to a global mean shift.
+		shift := 0.0
+		cnt := 0
+		for r := range changed {
+			if changed[r] {
+				shift += newVals[r] - oldVals[r]
+				cnt++
+			}
+		}
+		shift /= float64(cnt)
+		sum.CTs = []model.CT{{
+			Cond: predicate.True(),
+			Tran: model.Transformation{Target: target, Inputs: []string{target}, Coef: []float64{1}, Intercept: shift},
+		}}
+		return sum, nil
+	}
+	sum.CTs = []model.CT{{
+		Cond:     predicate.True(),
+		Tran:     model.Transformation{Target: target, Inputs: tranAttrs, Coef: m.Coef, Intercept: m.Intercept},
+		Rows:     len(y),
+		Coverage: 1,
+		MAE:      m.MAE,
+	}}
+	return sum, nil
+}
+
+// CellList is the exhaustive diff: one CT per changed row, keyed on the
+// primary key, each mapping to the exact new value. It is perfectly
+// accurate and catastrophically verbose — the paper's motivating
+// anti-example.
+func CellList(a *diff.Aligned, target string, tol float64) (*model.Summary, error) {
+	changes, err := a.Changes(target, tol)
+	if err != nil {
+		return nil, err
+	}
+	key := a.Source.Key()
+	if len(key) == 0 {
+		return nil, diff.ErrNoKey
+	}
+	sum := &model.Summary{Target: target}
+	for _, ch := range changes {
+		cond := predicate.True()
+		for _, k := range key {
+			v, err := a.Source.Value(ch.SrcRow, k)
+			if err != nil {
+				return nil, err
+			}
+			kc := a.Source.MustColumn(k)
+			if kc.Type.Numeric() {
+				cond = cond.And(predicate.Atom{Attr: k, Op: predicate.Eq, Num: v.Float(), Numeric: true})
+			} else {
+				cond = cond.And(predicate.StrAtom(k, predicate.Eq, v.Str()))
+			}
+		}
+		sum.CTs = append(sum.CTs, model.CT{
+			Cond: cond,
+			Tran: model.Transformation{Target: target, Intercept: ch.New.Float()},
+			Rows: 1,
+		})
+	}
+	return sum, nil
+}
+
+// NoChange is the empty summary: it predicts the target attribute did not
+// evolve at all.
+func NoChange(target string) *model.Summary {
+	return &model.Summary{Target: target}
+}
+
+// UpdateDistance reports the Müller-style minimal number of cell updates
+// between the snapshots, restricted to the target attribute.
+func UpdateDistance(a *diff.Aligned, target string, tol float64) (int, error) {
+	ch, err := a.Changes(target, tol)
+	if err != nil {
+		return 0, err
+	}
+	return len(ch), nil
+}

@@ -1,0 +1,622 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"charles/internal/assist"
+	"charles/internal/diff"
+	"charles/internal/dtree"
+	"charles/internal/model"
+	"charles/internal/predicate"
+	"charles/internal/regress"
+	"charles/internal/score"
+	"charles/internal/table"
+)
+
+// Summarize runs the full ChARLES pipeline over a snapshot pair and returns
+// the ranked change summaries for the configured target attribute.
+func Summarize(src, tgt *table.Table, opts Options) ([]Ranked, error) {
+	aligned, err := diff.Align(src, tgt)
+	if err != nil {
+		return nil, err
+	}
+	return SummarizeAligned(aligned, opts)
+}
+
+// SummarizeAligned is Summarize for pre-aligned snapshots (lets callers
+// amortize alignment across target attributes).
+func SummarizeAligned(a *diff.Aligned, opts Options) ([]Ranked, error) {
+	if err := opts.validate(a.Source); err != nil {
+		return nil, err
+	}
+	e, err := newEngine(a, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.run()
+}
+
+// engine holds per-run state.
+type engine struct {
+	opts    Options
+	a       *diff.Aligned
+	oldVals []float64 // target values in source, by source row
+	newVals []float64 // target values in target, aligned to source rows
+	changed []bool    // per source row
+
+	condAttrs []string
+	tranAttrs []string
+
+	changedRows []int // rows with a changed, finite target
+	minLeaf     int
+}
+
+func newEngine(a *diff.Aligned, opts Options) (*engine, error) {
+	e := &engine{opts: opts, a: a}
+	var err error
+	e.oldVals, e.newVals, err = a.Delta(opts.Target)
+	if err != nil {
+		return nil, err
+	}
+	e.changed, err = a.ChangedMask(opts.Target, opts.ChangeTol)
+	if err != nil {
+		return nil, err
+	}
+	for r, ch := range e.changed {
+		if ch && !math.IsNaN(e.oldVals[r]) && !math.IsNaN(e.newVals[r]) {
+			e.changedRows = append(e.changedRows, r)
+		}
+	}
+
+	// Attribute pools: user-specified, else the setup assistant's shortlist.
+	e.condAttrs = opts.CondAttrs
+	if len(e.condAttrs) == 0 {
+		sugs, err := assist.SuggestCondition(a, opts.Target, opts.ChangeTol)
+		if err != nil {
+			return nil, err
+		}
+		// Backfill to a full pool of c attributes: marginal correlation
+		// cannot see interaction attributes (the toy's exp only matters
+		// inside edu = MS), so the threshold alone is too conservative.
+		e.condAttrs = assist.Shortlist(sugs, assist.DefaultThreshold, opts.C, opts.C)
+	}
+	e.tranAttrs = opts.TranAttrs
+	if len(e.tranAttrs) == 0 {
+		sugs, err := assist.SuggestTransformation(a, opts.Target, opts.ChangeTol)
+		if err != nil {
+			return nil, err
+		}
+		e.tranAttrs = assist.Shortlist(sugs, assist.DefaultThreshold, opts.T, opts.T)
+	}
+	if err := assist.Validate(a.Source, e.condAttrs, false); err != nil {
+		return nil, err
+	}
+	if err := assist.Validate(a.Source, e.tranAttrs, true); err != nil {
+		return nil, err
+	}
+
+	e.minLeaf = 1
+	if opts.MinLeafFrac > 0 {
+		if ml := int(opts.MinLeafFrac * float64(a.Source.NumRows())); ml > 1 {
+			e.minLeaf = ml
+		}
+	}
+	return e, nil
+}
+
+func (e *engine) run() ([]Ranked, error) {
+	// Nothing changed: the only truthful summary is "no change".
+	if len(e.changedRows) == 0 {
+		s := &model.Summary{Target: e.opts.Target}
+		bd, err := score.Evaluate(s, e.a.Source, e.newVals, e.changed, e.opts.Alpha, e.opts.Weights)
+		if err != nil {
+			return nil, err
+		}
+		return []Ranked{{Summary: s, Breakdown: bd}}, nil
+	}
+
+	condSubsets := subsets(e.condAttrs, e.opts.C)
+	tranSubsets := e.featureSubsets()
+
+	// Fan the transformation-feature subsets across workers; the engine is
+	// read-only during candidate generation, and the fingerprint-dedup +
+	// total-order sort below make the outcome independent of scheduling.
+	workers := e.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tranSubsets) {
+		workers = len(tranSubsets)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	type unit struct {
+		ranked []Ranked
+		err    error
+	}
+	jobs := make(chan []model.Feature)
+	results := make(chan unit)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for T := range jobs {
+				ranked, err := e.evalFeatureSet(T, condSubsets)
+				results <- unit{ranked: ranked, err: err}
+			}
+		}()
+	}
+	go func() {
+		for _, T := range tranSubsets {
+			jobs <- T
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	best := map[string]Ranked{} // fingerprint -> best-scoring instance
+	var firstErr error
+	for u := range results {
+		if u.err != nil && firstErr == nil {
+			firstErr = u.err
+		}
+		for _, r := range u.ranked {
+			fp := r.Summary.Fingerprint()
+			if cur, ok := best[fp]; !ok || r.Breakdown.Score > cur.Breakdown.Score {
+				best[fp] = r
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	ranked := make([]Ranked, 0, len(best))
+	for _, r := range best {
+		ranked = append(ranked, r)
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		if ranked[i].Breakdown.Score != ranked[j].Breakdown.Score {
+			return ranked[i].Breakdown.Score > ranked[j].Breakdown.Score
+		}
+		// Deterministic tie-breaks: more interpretable (matters at α = 1,
+		// where the blend ignores it), then smaller, then fingerprint.
+		if ranked[i].Breakdown.Interpretability != ranked[j].Breakdown.Interpretability {
+			return ranked[i].Breakdown.Interpretability > ranked[j].Breakdown.Interpretability
+		}
+		if ranked[i].Summary.Size() != ranked[j].Summary.Size() {
+			return ranked[i].Summary.Size() < ranked[j].Summary.Size()
+		}
+		return ranked[i].Summary.Fingerprint() < ranked[j].Summary.Fingerprint()
+	})
+	if len(ranked) > e.opts.TopK {
+		ranked = ranked[:e.opts.TopK]
+	}
+	return ranked, nil
+}
+
+// evalFeatureSet evaluates every (C, k) candidate for one transformation
+// feature subset and returns the scored summaries.
+func (e *engine) evalFeatureSet(T []model.Feature, condSubsets [][]string) ([]Ranked, error) {
+	feats, featOK := e.featureMatrix(T)
+	var out []Ranked
+	for _, C := range condSubsets {
+		for k := 1; k <= e.opts.KMax; k++ {
+			sum, err := e.candidate(C, T, k, feats, featOK)
+			if err != nil {
+				return nil, err
+			}
+			if sum == nil {
+				continue
+			}
+			bd, err := score.Evaluate(sum, e.a.Source, e.newVals, e.changed, e.opts.Alpha, e.opts.Weights)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Ranked{Summary: sum, Breakdown: bd})
+		}
+	}
+	return out, nil
+}
+
+// featureSubsets enumerates the transformation feature sets to try: all
+// subsets of size ≤ t of the feature pool. The pool is the shortlisted
+// attributes themselves, plus — when the nonlinear extension is enabled —
+// their logs, squares, and pairwise interactions (the paper's "augmenting
+// the data with nonlinear features").
+func (e *engine) featureSubsets() [][]model.Feature {
+	pool := make([]model.Feature, 0, len(e.tranAttrs))
+	for _, attr := range e.tranAttrs {
+		pool = append(pool, model.Lin(attr))
+	}
+	if e.opts.Nonlinear {
+		for _, attr := range e.tranAttrs {
+			if e.allPositive(attr) {
+				pool = append(pool, model.Feature{Form: model.Log, Attr: attr})
+			}
+			pool = append(pool, model.Feature{Form: model.Square, Attr: attr})
+		}
+		for i := 0; i < len(e.tranAttrs); i++ {
+			for j := i + 1; j < len(e.tranAttrs); j++ {
+				pool = append(pool, model.Feature{Form: model.Interaction, Attr: e.tranAttrs[i], Attr2: e.tranAttrs[j]})
+			}
+		}
+	}
+	maxSize := e.opts.T
+	if maxSize > len(pool) {
+		maxSize = len(pool)
+	}
+	var out [][]model.Feature
+	var rec func(start int, cur []model.Feature)
+	rec = func(start int, cur []model.Feature) {
+		if len(cur) > 0 && len(cur) <= maxSize {
+			out = append(out, append([]model.Feature(nil), cur...))
+		}
+		if len(cur) == maxSize {
+			return
+		}
+		for i := start; i < len(pool); i++ {
+			rec(i+1, append(cur, pool[i]))
+		}
+	}
+	rec(0, nil)
+	sort.SliceStable(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		return featNames(out[i]) < featNames(out[j])
+	})
+	return out
+}
+
+func featNames(fs []model.Feature) string {
+	names := make([]string, len(fs))
+	for i, f := range fs {
+		names[i] = f.Name()
+	}
+	return fmt.Sprint(names)
+}
+
+// allPositive reports whether every non-null value of attr is > 0 (the log
+// feature's domain).
+func (e *engine) allPositive(attr string) bool {
+	col, err := e.a.Source.Column(attr)
+	if err != nil {
+		return false
+	}
+	for r := 0; r < col.Len(); r++ {
+		if col.IsNull(r) {
+			continue
+		}
+		if col.Float(r) <= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// featureMatrix evaluates the feature subset T over the source snapshot,
+// plus a per-row finiteness mask.
+func (e *engine) featureMatrix(T []model.Feature) ([][]float64, []bool) {
+	n := e.a.Source.NumRows()
+	feats := make([][]float64, n)
+	ok := make([]bool, n)
+	for r := 0; r < n; r++ {
+		row := make([]float64, len(T))
+		good := true
+		for j, f := range T {
+			v, err := f.Eval(e.a.Source, r)
+			if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+				good = false
+				v = math.NaN()
+			}
+			row[j] = v
+		}
+		feats[r] = row
+		ok[r] = good
+	}
+	return feats, ok
+}
+
+// candidate builds one summary for the attribute subsets (C, T) and cluster
+// count k: global fit → residual k-means → condition induction →
+// per-partition refit → snap. Returns nil when the combination is
+// infeasible (e.g. not enough usable rows).
+func (e *engine) candidate(C []string, T []model.Feature, k int, feats [][]float64, featOK []bool) (*model.Summary, error) {
+	// Usable changed rows for this T.
+	var rows []int
+	for _, r := range e.changedRows {
+		if featOK[r] {
+			rows = append(rows, r)
+		}
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	if k > len(rows) {
+		return nil, nil
+	}
+
+	// (a) Global fit over the changed rows.
+	gx := make([][]float64, len(rows))
+	gy := make([]float64, len(rows))
+	for i, r := range rows {
+		gx[i] = feats[r]
+		gy[i] = e.newVals[r]
+	}
+	global, err := regress.Fit(gx, gy, regress.DefaultOptions())
+	if err != nil {
+		// Too few rows for this feature set — fall back to shift residuals.
+		global = nil
+	}
+
+	// (b) Partition seeding: cluster a 1-D change signal. The default is
+	// the paper's residual-from-global-fit; Delta and Ratio exist for the
+	// ablation study.
+	signal := make([]float64, len(rows))
+	for i, r := range rows {
+		switch e.opts.Strategy {
+		case DeltaKMeans:
+			signal[i] = e.newVals[r] - e.oldVals[r]
+		case RatioKMeans:
+			if e.oldVals[r] != 0 {
+				signal[i] = e.newVals[r] / e.oldVals[r]
+			} else {
+				signal[i] = 0
+			}
+		default: // ResidualKMeans
+			if global != nil {
+				signal[i] = e.newVals[r] - global.Predict(feats[r])
+			} else {
+				signal[i] = e.newVals[r] - e.oldVals[r]
+			}
+		}
+	}
+	// (b') Seed + EM-style refinement: 1-D clusters are only a seed — when
+	// the latent transformations differ in slope over a wide feature range,
+	// their signal distributions overlap. Alternate per-cluster regression
+	// fits with best-fit reassignment until stable (best of several
+	// seedings); this converges onto the true affine groups (cf. linear
+	// model trees / M5-style splitting).
+	clusterLabels, err := seedAndRefine(signal, rows, feats, e.newVals, k, e.opts.Seed, e.opts.NoRefine)
+	if err != nil {
+		return nil, err
+	}
+
+	// (c) Labels over all rows: cluster ids for changed rows; unchanged rows
+	// (and rows with unusable features) become their own class so the
+	// condition tree learns to separate them.
+	n := e.a.Source.NumRows()
+	labels := make([]int, n)
+	unchangedLabel := k
+	for r := 0; r < n; r++ {
+		labels[r] = unchangedLabel
+	}
+	for i, r := range rows {
+		labels[r] = clusterLabels[i]
+	}
+
+	// Tree depth: a decision list needs up to k splits to carve k+1 classes
+	// out of one categorical attribute (the paper's c bounds *attributes*
+	// per condition, not atoms; simplifyPredicate collapses the ≠-chains
+	// afterwards).
+	maxAtoms := e.opts.MaxCondAtoms
+	if maxAtoms <= 0 {
+		maxAtoms = len(C) + 1
+		if m := e.opts.KMax + 1; m > maxAtoms {
+			maxAtoms = m
+		}
+		if maxAtoms > 6 {
+			maxAtoms = 6
+		}
+	}
+	tree, err := dtree.Build(e.a.Source, C, labels, nil, dtree.Options{
+		MaxDepth: maxAtoms,
+		MinLeaf:  e.minLeaf,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// (d) Per-partition transformation discovery.
+	sum := &model.Summary{
+		Target:    e.opts.Target,
+		CondAttrs: append([]string(nil), C...),
+		TranAttrs: tranAttrNames(T),
+	}
+	for _, leaf := range tree.Leaves() {
+		pred, err := simplifyPredicate(leaf.Pred, e.a.Source)
+		if err != nil {
+			return nil, err
+		}
+		ct, err := e.fitPartition(pred, leaf.Rows, T, feats, featOK)
+		if err != nil {
+			return nil, err
+		}
+		if ct == nil {
+			continue
+		}
+		if ct.Tran.NoChange && !e.opts.KeepNoChangeCTs {
+			continue // the None leaf stays implicit
+		}
+		sum.CTs = append(sum.CTs, *ct)
+	}
+	if len(sum.CTs) == 0 {
+		return nil, nil
+	}
+	// Present dominant partitions first (deterministic).
+	sort.SliceStable(sum.CTs, func(i, j int) bool {
+		if sum.CTs[i].Rows != sum.CTs[j].Rows {
+			return sum.CTs[i].Rows > sum.CTs[j].Rows
+		}
+		return sum.CTs[i].Cond.Fingerprint() < sum.CTs[j].Cond.Fingerprint()
+	})
+	return sum, nil
+}
+
+// fitPartition turns one induced partition into a CT. Partitions dominated
+// by unchanged rows become "no change"; otherwise a linear model is fitted
+// on the changed rows, with graceful fallbacks for tiny partitions, then
+// snapped to normal constants.
+func (e *engine) fitPartition(pred predicate.Predicate, rows []int, T []model.Feature, feats [][]float64, featOK []bool) (*model.CT, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	total := e.a.Source.NumRows()
+	ct := &model.CT{
+		Cond:     pred,
+		Rows:     len(rows),
+		Coverage: float64(len(rows)) / float64(total),
+	}
+	var chRows []int
+	for _, r := range rows {
+		if e.changed[r] && featOK[r] {
+			chRows = append(chRows, r)
+		}
+	}
+	// Mostly-unchanged partition → identity transformation.
+	if float64(len(chRows)) < 0.5*float64(len(rows)) {
+		ct.Tran = model.Identity(e.opts.Target)
+		return ct, nil
+	}
+
+	x := make([][]float64, len(chRows))
+	y := make([]float64, len(chRows))
+	// The snapping budget is relative to the *magnitude of change* in this
+	// partition, not the magnitude of the target: rounding may cost a few
+	// percent of the change, never a few percent of the value (which would
+	// legalize erasing whole rules).
+	deltaScale := 0.0
+	for i, r := range chRows {
+		x[i] = feats[r]
+		y[i] = e.newVals[r]
+		deltaScale += math.Abs(e.newVals[r] - e.oldVals[r])
+	}
+	deltaScale /= float64(len(chRows))
+	var m *regress.Model
+	var err error
+	if e.opts.Robust {
+		m, _, err = regress.FitRobust(x, y, regress.RobustOptions{Base: regress.DefaultOptions()})
+	} else {
+		m, err = regress.Fit(x, y, regress.DefaultOptions())
+	}
+	if err != nil {
+		// Fallback 1: no intercept (needs one fewer row).
+		m, err = regress.Fit(x, y, regress.Options{Intercept: false, Ridge: 1e-8})
+	}
+	var tran model.Transformation
+	if err == nil {
+		snapped := regress.Snap(m, x, y, regress.SnapOptions{Tolerance: e.opts.SnapTolerance, Scale: deltaScale})
+		tran = model.Transformation{
+			Target:    e.opts.Target,
+			Features:  append([]model.Feature(nil), T...),
+			Coef:      snapped.Coef,
+			Intercept: snapped.Intercept,
+		}
+		ct.MAE = snapped.MAE
+	} else {
+		// Fallback 2: pure shift on the target's own previous value
+		// (new = old + mean Δ); always well defined with ≥ 1 row.
+		shift := 0.0
+		for _, r := range chRows {
+			shift += e.newVals[r] - e.oldVals[r]
+		}
+		shift /= float64(len(chRows))
+		m2 := &regress.Model{Coef: []float64{1}, Intercept: shift}
+		x2 := make([][]float64, len(chRows))
+		for i, r := range chRows {
+			x2[i] = []float64{e.oldVals[r]}
+		}
+		m2.Refit(x2, y)
+		snapped := regress.Snap(m2, x2, y, regress.SnapOptions{Tolerance: e.opts.SnapTolerance, Scale: deltaScale})
+		tran = model.Transformation{
+			Target:    e.opts.Target,
+			Inputs:    []string{e.opts.Target},
+			Coef:      snapped.Coef,
+			Intercept: snapped.Intercept,
+		}
+		ct.MAE = snapped.MAE
+	}
+	// A fitted transformation numerically equal to identity collapses to
+	// NoChange (cleaner rendering, better interpretability score).
+	if isIdentity(tran, e.opts.Target) {
+		tran = model.Identity(e.opts.Target)
+	}
+	ct.Tran = tran
+	return ct, nil
+}
+
+// isIdentity recognizes new_target = 1.0×target + 0.
+func isIdentity(tr model.Transformation, target string) bool {
+	if tr.NoChange {
+		return true
+	}
+	if tr.Intercept != 0 {
+		return false
+	}
+	for i, in := range tr.Inputs {
+		c := tr.Coef[i]
+		if in == target {
+			if c != 1 {
+				return false
+			}
+		} else if c != 0 {
+			return false
+		}
+	}
+	return len(tr.Inputs) > 0
+}
+
+// tranAttrNames returns the distinct underlying attribute names of a
+// feature subset, for summary provenance.
+func tranAttrNames(T []model.Feature) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range T {
+		for _, a := range f.Attrs() {
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// subsets enumerates all non-empty subsets of attrs with size ≤ maxSize,
+// in deterministic order (by size, then lexicographic positions).
+func subsets(attrs []string, maxSize int) [][]string {
+	var out [][]string
+	n := len(attrs)
+	if maxSize > n {
+		maxSize = n
+	}
+	var rec func(start int, cur []string)
+	rec = func(start int, cur []string) {
+		if len(cur) > 0 && len(cur) <= maxSize {
+			out = append(out, append([]string(nil), cur...))
+		}
+		if len(cur) == maxSize {
+			return
+		}
+		for i := start; i < n; i++ {
+			rec(i+1, append(cur, attrs[i]))
+		}
+	}
+	rec(0, nil)
+	sort.SliceStable(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		return fmt.Sprint(out[i]) < fmt.Sprint(out[j])
+	})
+	return out
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"sort"
+
+	"charles/internal/diff"
+	"charles/internal/table"
+)
+
+// MultiResult holds per-attribute summaries for a whole-table run.
+type MultiResult struct {
+	// Attrs lists the summarized attributes in schema order.
+	Attrs []string
+	// ByAttr maps each changed numeric attribute to its ranked summaries.
+	ByAttr map[string][]Ranked
+	// Skipped lists changed attributes that could not be summarized
+	// (non-numeric), mapped to the reason.
+	Skipped map[string]string
+}
+
+// SummarizeAll discovers every changed attribute between the snapshots and
+// runs the engine once per changed *numeric* attribute, reusing base for
+// everything except Target (and clearing TranAttrs so each target gets its
+// own assistant shortlist when none was given). Changed categorical
+// attributes are reported in Skipped — ChARLES explains numeric evolution.
+func SummarizeAll(src, tgt *table.Table, base Options) (*MultiResult, error) {
+	a, err := diff.Align(src, tgt)
+	if err != nil {
+		return nil, err
+	}
+	tol := base.ChangeTol
+	if tol == 0 {
+		tol = 1e-9
+	}
+	changed, err := a.ChangedAttrs(tol)
+	if err != nil {
+		return nil, err
+	}
+	res := &MultiResult{ByAttr: map[string][]Ranked{}, Skipped: map[string]string{}}
+	for _, attr := range changed {
+		col, err := src.Column(attr)
+		if err != nil {
+			return nil, err
+		}
+		if !col.Type.Numeric() {
+			res.Skipped[attr] = "non-numeric attribute (categorical change)"
+			continue
+		}
+		opts := base
+		opts.Target = attr
+		// Per-target pools: a shortlist computed for one target is wrong
+		// for another, so only explicit user pools carry over.
+		if len(base.TranAttrs) == 0 {
+			opts.TranAttrs = nil
+		}
+		if len(base.CondAttrs) == 0 {
+			opts.CondAttrs = nil
+		}
+		ranked, err := SummarizeAligned(a, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Attrs = append(res.Attrs, attr)
+		res.ByAttr[attr] = ranked
+	}
+	sort.Strings(res.Attrs)
+	return res, nil
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"charles/internal/eval"
+	"charles/internal/gen"
+	"charles/internal/table"
+)
+
+// TestNonlinearRecovery: with the nonlinear feature pool enabled, the
+// engine recovers log- and square-feature policies that a linear-only run
+// can only approximate.
+func TestNonlinearRecovery(t *testing.T) {
+	d, err := gen.PlantedNonlinear(31, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(d.Target)
+	opts.CondAttrs = d.CondAttrs
+	opts.TranAttrs = d.TranAttrs
+	opts.Nonlinear = true
+	// The two planted policies jointly use three features (ln(pay), pay,
+	// pay²); every partition of one candidate shares a feature subset, so
+	// the bound t must admit all three.
+	opts.T = 3
+	ranked, err := Summarize(d.Src, d.Tgt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := ranked[0]
+	if top.Breakdown.Accuracy < 0.99 {
+		t.Errorf("nonlinear accuracy = %v, want ≈ 1", top.Breakdown.Accuracy)
+	}
+	rendered := top.Summary.String()
+	if !strings.Contains(rendered, "ln(pay)") {
+		t.Errorf("log feature not recovered:\n%s", rendered)
+	}
+	rm, err := eval.Rules(d.Truth, top.Summary, d.Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.MeanJaccard < 0.99 {
+		t.Errorf("nonlinear partition Jaccard = %v", rm.MeanJaccard)
+	}
+}
+
+// TestLinearOnlyCannotFitNonlinearPolicy pins the contrast: the same data
+// without the feature extension fits strictly worse.
+func TestLinearOnlyCannotFitNonlinearPolicy(t *testing.T) {
+	d, err := gen.PlantedNonlinear(31, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := DefaultOptions(d.Target)
+	base.CondAttrs = d.CondAttrs
+	base.TranAttrs = d.TranAttrs
+
+	linOpts := base
+	linRanked, err := Summarize(d.Src, d.Tgt, linOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nlOpts := base
+	nlOpts.Nonlinear = true
+	nlOpts.T = 3
+	nlRanked, err := Summarize(d.Src, d.Tgt, nlOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	linMAE := linRanked[0].Breakdown.MAE
+	nlMAE := nlRanked[0].Breakdown.MAE
+	if nlMAE >= linMAE {
+		t.Errorf("nonlinear MAE %v should beat linear MAE %v", nlMAE, linMAE)
+	}
+	if linMAE < 10 {
+		t.Errorf("linear-only fit suspiciously exact (MAE %v) on a log policy", linMAE)
+	}
+}
+
+// TestNonlinearOffByDefault guards the default configuration: the linear
+// engine must not pay the quadratic feature-pool cost unless asked.
+func TestNonlinearOffByDefault(t *testing.T) {
+	opts := DefaultOptions("pay")
+	if opts.Nonlinear {
+		t.Error("Nonlinear should default to false")
+	}
+}
+
+// TestLogFeatureSkippedOnNonPositiveData: a transformation attribute with
+// zeros or negatives must not spawn a log feature.
+func TestLogFeatureSkippedOnNonPositiveData(t *testing.T) {
+	d, err := gen.Planted(gen.PlantedConfig{N: 300, Seed: 7, Rules: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force a zero into pay.
+	if err := d.Src.MustColumn("pay").Set(0, tableF(0)); err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(d.Target)
+	opts.CondAttrs = d.CondAttrs
+	opts.TranAttrs = d.TranAttrs
+	opts.Nonlinear = true
+	ranked, err := Summarize(d.Src, d.Tgt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ranked {
+		if strings.Contains(r.Summary.String(), "ln(") {
+			t.Fatalf("log feature generated despite non-positive domain:\n%s", r.Summary)
+		}
+	}
+}
+
+// tableF adapts the table value constructor for this test file.
+func tableF(x float64) table.Value { return table.F(x) }

@@ -1,0 +1,184 @@
+// Package core implements the ChARLES diff discovery engine: given two
+// aligned snapshots and a numeric target attribute, it enumerates candidate
+// condition/transformation attribute subsets, discovers data partitions by
+// clustering the residuals of a global fit, induces human-readable
+// conditions for the partitions, fits per-partition transformations, and
+// returns the top-K scored change summaries.
+package core
+
+import (
+	"fmt"
+
+	"charles/internal/model"
+	"charles/internal/score"
+	"charles/internal/table"
+)
+
+// Options configure a Summarize run. The zero value is not valid; use
+// DefaultOptions and override fields.
+type Options struct {
+	// Target is the numeric attribute whose evolution is summarized.
+	Target string
+
+	// CondAttrs and TranAttrs are the candidate attribute pools A_cond and
+	// A_tran. Empty pools are filled by the setup assistant (correlation
+	// shortlist, paper demo steps 4–5).
+	CondAttrs []string
+	TranAttrs []string
+
+	// C and T bound the subset sizes: conditions use at most C attributes,
+	// transformations at most T (paper parameters c and t).
+	C int
+	T int
+
+	// KMax bounds the number of residual clusters (candidate partitions)
+	// tried per attribute-subset pair.
+	KMax int
+
+	// Alpha weighs accuracy against interpretability in Score(S).
+	Alpha float64
+
+	// TopK is the number of ranked summaries to return (paper default 10).
+	TopK int
+
+	// Weights tune the interpretability sub-scores.
+	Weights score.Weights
+
+	// SnapTolerance is the relative accuracy loss allowed when rounding
+	// fitted constants to "normal" values (0 disables snapping).
+	SnapTolerance float64
+
+	// ChangeTol is the absolute numeric tolerance used to decide whether a
+	// cell changed between the snapshots.
+	ChangeTol float64
+
+	// MinLeafFrac is the minimum fraction of rows a partition must hold
+	// (protects against overly specific conditions; paper's coverage
+	// preference). 0 means a single row suffices.
+	MinLeafFrac float64
+
+	// MaxCondAtoms bounds the depth of induced condition predicates. 0
+	// derives it from the condition-subset size.
+	MaxCondAtoms int
+
+	// Seed makes clustering deterministic.
+	Seed int64
+
+	// Robust enables MAD-trimmed per-partition fitting, which keeps a few
+	// off-policy edits (manual corrections, data-entry errors) from
+	// dragging the recovered transformation away from the policy.
+	Robust bool
+
+	// Nonlinear augments the transformation feature pool with derived
+	// features — ln(attr), attr², and pairwise products — so transformations
+	// stay linear in the features while capturing nonlinear policies (the
+	// extension sketched in the paper's limitations section). The feature
+	// pool, and hence the search, grows quadratically in the number of
+	// transformation attributes; the t bound still applies per summary.
+	Nonlinear bool
+
+	// Strategy selects how candidate partitions are discovered (the paper
+	// notes "other methods of partitioning ... are certainly possible";
+	// the non-default strategies exist for the ablation study E12).
+	Strategy PartitionStrategy
+
+	// NoRefine disables the EM-style cluster refinement between seeding
+	// and condition induction (ablation knob; leave false in production —
+	// without refinement, transformations that differ in slope over a wide
+	// feature range are frequently conflated).
+	NoRefine bool
+
+	// KeepNoChangeCTs retains explicit "no change" CTs in summaries instead
+	// of leaving unchanged partitions implicit (the default, matching the
+	// paper's None leaf).
+	KeepNoChangeCTs bool
+
+	// Workers bounds the goroutines evaluating candidate (C, T, k)
+	// combinations; 0 uses GOMAXPROCS. The search is embarrassingly
+	// parallel over transformation-feature subsets, and results are
+	// identical regardless of worker count (candidates are deduplicated by
+	// fingerprint and ranked with total-order tie-breaks).
+	Workers int
+}
+
+// DefaultOptions returns the engine defaults used in the paper's demo:
+// c = 3, t = 2, α = 0.5, top-10 summaries.
+func DefaultOptions(target string) Options {
+	return Options{
+		Target:        target,
+		C:             3,
+		T:             2,
+		KMax:          4,
+		Alpha:         0.5,
+		TopK:          10,
+		Weights:       score.DefaultWeights(),
+		SnapTolerance: 0.02,
+		ChangeTol:     1e-9,
+		Seed:          1,
+		Robust:        true,
+	}
+}
+
+func (o Options) validate(src *table.Table) error {
+	if o.Target == "" {
+		return fmt.Errorf("core: no target attribute")
+	}
+	col, err := src.Column(o.Target)
+	if err != nil {
+		return err
+	}
+	if !col.Type.Numeric() {
+		return fmt.Errorf("core: target attribute %q is %s, need numeric", o.Target, col.Type)
+	}
+	if o.C <= 0 || o.T <= 0 {
+		return fmt.Errorf("core: parameters c=%d and t=%d must be positive", o.C, o.T)
+	}
+	if o.KMax <= 0 {
+		return fmt.Errorf("core: KMax must be positive, got %d", o.KMax)
+	}
+	if o.Alpha < 0 || o.Alpha > 1 {
+		return fmt.Errorf("core: alpha %g out of [0,1]", o.Alpha)
+	}
+	if o.TopK <= 0 {
+		return fmt.Errorf("core: TopK must be positive, got %d", o.TopK)
+	}
+	return nil
+}
+
+// PartitionStrategy selects the clustering signal used to seed partitions.
+type PartitionStrategy int
+
+const (
+	// ResidualKMeans clusters the residuals of a global fit (the paper's
+	// method, and the default).
+	ResidualKMeans PartitionStrategy = iota
+	// DeltaKMeans clusters the raw change Δ = new − old. Cheap, but groups
+	// with equal additive shifts and different slopes blur together.
+	DeltaKMeans
+	// RatioKMeans clusters the relative change new/old. Natural for purely
+	// multiplicative policies; additive constants distort it.
+	RatioKMeans
+)
+
+// String names the strategy for reports.
+func (s PartitionStrategy) String() string {
+	switch s {
+	case ResidualKMeans:
+		return "residual-kmeans"
+	case DeltaKMeans:
+		return "delta-kmeans"
+	case RatioKMeans:
+		return "ratio-kmeans"
+	default:
+		return fmt.Sprintf("PartitionStrategy(%d)", int(s))
+	}
+}
+
+// Ranked pairs a summary with its evaluated score.
+type Ranked struct {
+	Summary   *model.Summary
+	Breakdown *score.Breakdown
+}
+
+// Score returns the blended score (convenience accessor).
+func (r Ranked) Score() float64 { return r.Breakdown.Score }

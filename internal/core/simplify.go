@@ -1,0 +1,138 @@
+package core
+
+import (
+	"sort"
+
+	"charles/internal/predicate"
+	"charles/internal/table"
+)
+
+// simplifyPredicate rewrites an induced condition into the simplest form
+// that selects exactly the same rows of t:
+//
+//  1. redundant atoms are dropped (edu ≠ BS ∧ edu ≠ MS ∧ exp < 4 loses the
+//     exp atom when every remaining row already satisfies it);
+//  2. a pile of ≠ atoms on one categorical attribute collapses to a single
+//     equality when only one value remains in the selected rows
+//     (edu ≠ BS ∧ edu ≠ MS becomes edu = PhD).
+//
+// Both rewrites are validated by row-set equality, so the summary's
+// semantics on the observed data are unchanged while its interpretability
+// (fewer, positive descriptors) improves — exactly the paper's preference
+// for simpler conditions.
+func simplifyPredicate(p predicate.Predicate, t *table.Table) (predicate.Predicate, error) {
+	p = p.Normalize()
+	base, err := p.Mask(t)
+	if err != nil {
+		return p, err
+	}
+
+	// Pass 1: greedy redundant-atom elimination to a fixpoint.
+	for {
+		dropped := false
+		for i := range p.Atoms {
+			cand := predicate.Predicate{Atoms: removeAtom(p.Atoms, i)}
+			m, err := cand.Mask(t)
+			if err != nil {
+				return p, err
+			}
+			if maskEqual(m, base) {
+				p = cand
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			break
+		}
+	}
+
+	// Pass 2: collapse ≠-chains into a positive equality. Attributes are
+	// visited in sorted order so the rewrite is deterministic.
+	neSet := map[string]bool{}
+	for _, a := range p.Atoms {
+		if !a.Numeric && a.Op == predicate.Ne {
+			neSet[a.Attr] = true
+		}
+	}
+	neAttrs := make([]string, 0, len(neSet))
+	for attr := range neSet {
+		neAttrs = append(neAttrs, attr)
+	}
+	sort.Strings(neAttrs)
+	for _, attr := range neAttrs {
+		col, err := t.Column(attr)
+		if err != nil {
+			return p, err
+		}
+		distinct := map[string]bool{}
+		for r, in := range base {
+			if in && !col.IsNull(r) {
+				distinct[col.Str(r)] = true
+			}
+		}
+		if len(distinct) != 1 {
+			continue
+		}
+		var only string
+		for v := range distinct {
+			only = v
+		}
+		var atoms []predicate.Atom
+		for _, a := range p.Atoms {
+			if !a.Numeric && a.Op == predicate.Ne && a.Attr == attr {
+				continue
+			}
+			atoms = append(atoms, a)
+		}
+		atoms = append(atoms, predicate.StrAtom(attr, predicate.Eq, only))
+		cand := predicate.Predicate{Atoms: atoms}
+		m, err := cand.Mask(t)
+		if err != nil {
+			return p, err
+		}
+		if maskEqual(m, base) {
+			p = cand
+		}
+	}
+
+	// Re-run atom elimination: the equality may subsume other atoms.
+	for {
+		dropped := false
+		for i := range p.Atoms {
+			cand := predicate.Predicate{Atoms: removeAtom(p.Atoms, i)}
+			m, err := cand.Mask(t)
+			if err != nil {
+				return p, err
+			}
+			if maskEqual(m, base) {
+				p = cand
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			break
+		}
+	}
+	return p.Normalize(), nil
+}
+
+func removeAtom(atoms []predicate.Atom, i int) []predicate.Atom {
+	out := make([]predicate.Atom, 0, len(atoms)-1)
+	out = append(out, atoms[:i]...)
+	out = append(out, atoms[i+1:]...)
+	return out
+}
+
+func maskEqual(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

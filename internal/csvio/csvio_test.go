@@ -1,0 +1,178 @@
+package csvio
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"charles/internal/table"
+)
+
+func TestReadInfersTypes(t *testing.T) {
+	in := `id,name,salary,rate,active,grade
+1,Anne,"$230,000",10%,true,12
+2,Bob,"$250,000",9.5%,false,7
+`
+	tbl, err := Read(strings.NewReader(in), Options{Key: []string{"id"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]table.Type{
+		"id": table.Int, "name": table.String, "salary": table.Int,
+		"rate": table.Float, "active": table.Bool, "grade": table.Int,
+	}
+	for _, f := range tbl.Schema() {
+		if want[f.Name] != f.Type {
+			t.Errorf("column %q inferred %v, want %v", f.Name, f.Type, want[f.Name])
+		}
+	}
+	v, err := tbl.Value(0, "salary")
+	if err != nil || v.Int() != 230000 {
+		t.Errorf("currency parse: %v, %v", v, err)
+	}
+	r, _ := tbl.Value(1, "rate")
+	if r.Float() != 9.5 {
+		t.Errorf("percent parse: %v", r)
+	}
+	if len(tbl.Key()) != 1 || tbl.Key()[0] != "id" {
+		t.Errorf("key not set: %v", tbl.Key())
+	}
+}
+
+func TestReadEmptyCellsBecomeNulls(t *testing.T) {
+	in := "a,b\n1,\n,x\n"
+	tbl, err := Read(strings.NewReader(in), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.MustColumn("b").IsNull(0) {
+		t.Error("empty string cell should be null")
+	}
+	if !tbl.MustColumn("a").IsNull(1) {
+		t.Error("empty numeric cell should be null")
+	}
+}
+
+func TestReadForceString(t *testing.T) {
+	in := "zip,v\n01234,1\n98765,2\n"
+	tbl, err := Read(strings.NewReader(in), Options{ForceString: []string{"zip"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Schema()[0].Type != table.String {
+		t.Errorf("forced column inferred %v", tbl.Schema()[0].Type)
+	}
+	if v, _ := tbl.Value(0, "zip"); v.Str() != "01234" {
+		t.Errorf("leading zero lost: %q", v.Str())
+	}
+}
+
+func TestReadNegativeAccounting(t *testing.T) {
+	in := "amt\n(1500)\n2000\n"
+	tbl, err := Read(strings.NewReader(in), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := tbl.Value(0, "amt"); v.Float() != -1500 {
+		t.Errorf("accounting negative = %v, want -1500", v)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader(""), Options{}); err == nil {
+		t.Error("empty input accepted")
+	}
+	// encoding/csv already rejects ragged rows.
+	if _, err := Read(strings.NewReader("a,b\n1\n"), Options{}); err == nil {
+		t.Error("ragged row accepted")
+	}
+	if _, err := Read(strings.NewReader("a,b\n1,2\n"), Options{Key: []string{"ghost"}}); err == nil {
+		t.Error("unknown key column accepted")
+	}
+}
+
+func TestMixedColumnFallsBackToString(t *testing.T) {
+	in := "x\n1\nhello\n2\n"
+	tbl, err := Read(strings.NewReader(in), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Schema()[0].Type != table.String {
+		t.Errorf("mixed column inferred %v, want string", tbl.Schema()[0].Type)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	src := table.MustNew(table.Schema{
+		{Name: "id", Type: table.Int},
+		{Name: "name", Type: table.String},
+		{Name: "pay", Type: table.Float},
+		{Name: "ok", Type: table.Bool},
+	})
+	src.MustAppendRow(table.I(1), table.S("ann"), table.F(10.5), table.B(true))
+	src.MustAppendRow(table.I(2), table.S("bob"), table.Null(table.Float), table.B(false))
+
+	var buf bytes.Buffer
+	if err := Write(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 2 {
+		t.Fatalf("round-trip rows = %d", back.NumRows())
+	}
+	if v, _ := back.Value(0, "pay"); v.Float() != 10.5 {
+		t.Errorf("pay round-trip = %v", v)
+	}
+	if !back.MustColumn("pay").IsNull(1) {
+		t.Error("null did not round-trip")
+	}
+	if v, _ := back.Value(1, "ok"); v.Bool() != false {
+		t.Errorf("bool round-trip = %v", v)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+	src := table.MustNew(table.Schema{{Name: "a", Type: table.Int}})
+	src.MustAppendRow(table.I(7))
+	if err := WriteFile(path, src); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := back.Value(0, "a"); v.Int() != 7 {
+		t.Errorf("file round-trip = %v", v)
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.csv"), Options{}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestNormalizeNumber(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"$1,234.50", "1234.50", true},
+		{"12%", "12", true},
+		{"(42)", "-42", true},
+		{"1e3", "1e3", true},
+		{"abc", "", false},
+		{"$", "", false},
+		{"", "", false},
+	}
+	for _, c := range cases {
+		got, ok := normalizeNumber(c.in)
+		if ok != c.ok || got != c.want {
+			t.Errorf("normalizeNumber(%q) = %q,%v want %q,%v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+package diff
+
+import (
+	"errors"
+	"testing"
+
+	"charles/internal/table"
+)
+
+func snapshotPair(t *testing.T) (*table.Table, *table.Table) {
+	t.Helper()
+	schema := table.Schema{
+		{Name: "id", Type: table.Int},
+		{Name: "pay", Type: table.Float},
+		{Name: "dept", Type: table.String},
+	}
+	src := table.MustNew(schema)
+	tgt := table.MustNew(schema)
+	src.MustAppendRow(table.I(1), table.F(100), table.S("a"))
+	src.MustAppendRow(table.I(2), table.F(200), table.S("b"))
+	src.MustAppendRow(table.I(3), table.F(300), table.S("c"))
+	// Target rows deliberately permuted; pay changed for ids 1 and 3, dept
+	// changed for id 2.
+	tgt.MustAppendRow(table.I(3), table.F(330), table.S("c"))
+	tgt.MustAppendRow(table.I(1), table.F(110), table.S("a"))
+	tgt.MustAppendRow(table.I(2), table.F(200), table.S("z"))
+	if err := src.SetKey("id"); err != nil {
+		t.Fatal(err)
+	}
+	return src, tgt
+}
+
+func TestAlignMatchesPermutedRows(t *testing.T) {
+	src, tgt := snapshotPair(t)
+	a, err := Align(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 0} // src row i ↔ tgt row want[i]
+	for i, w := range want {
+		if a.TgtRow[i] != w {
+			t.Errorf("TgtRow[%d] = %d, want %d", i, a.TgtRow[i], w)
+		}
+	}
+}
+
+func TestAlignSchemaMismatch(t *testing.T) {
+	src, _ := snapshotPair(t)
+	other := table.MustNew(table.Schema{{Name: "id", Type: table.Int}})
+	if _, err := Align(src, other); !errors.Is(err, ErrSchemaMismatch) {
+		t.Errorf("err = %v, want ErrSchemaMismatch", err)
+	}
+}
+
+func TestAlignNoKey(t *testing.T) {
+	src, tgt := snapshotPair(t)
+	noKey := src.Clone()
+	if err := noKey.SetKey(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Align(noKey, tgt); !errors.Is(err, ErrNoKey) {
+		t.Errorf("err = %v, want ErrNoKey", err)
+	}
+}
+
+func TestAlignEntityMismatch(t *testing.T) {
+	src, tgt := snapshotPair(t)
+	shrunk := tgt.Gather([]int{0, 1})
+	if _, err := Align(src, shrunk); !errors.Is(err, ErrEntityMismatch) {
+		t.Errorf("row-count mismatch: err = %v", err)
+	}
+	// Same count, different entity.
+	swapped := tgt.Clone()
+	if err := swapped.MustColumn("id").Set(0, table.I(99)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Align(src, swapped); !errors.Is(err, ErrEntityMismatch) {
+		t.Errorf("missing-key mismatch: err = %v", err)
+	}
+}
+
+func TestDeltaAlignsValues(t *testing.T) {
+	src, tgt := snapshotPair(t)
+	a, err := Align(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldV, newV, err := a.Delta("pay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOld := []float64{100, 200, 300}
+	wantNew := []float64{110, 200, 330}
+	for i := range wantOld {
+		if oldV[i] != wantOld[i] || newV[i] != wantNew[i] {
+			t.Errorf("delta[%d] = (%v, %v), want (%v, %v)", i, oldV[i], newV[i], wantOld[i], wantNew[i])
+		}
+	}
+}
+
+func TestChangedMaskAndChanges(t *testing.T) {
+	src, tgt := snapshotPair(t)
+	a, err := Align(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask, err := a.ChangedMask("pay", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, true}
+	for i := range want {
+		if mask[i] != want[i] {
+			t.Errorf("mask[%d] = %v", i, mask[i])
+		}
+	}
+	ch, err := a.Changes("pay", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch) != 2 || ch[0].SrcRow != 0 || ch[0].New.Float() != 110 {
+		t.Errorf("changes = %+v", ch)
+	}
+	// Tolerance swallows small diffs.
+	mask, err = a.ChangedMask("pay", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mask[0] {
+		t.Error("10-unit change should be under tolerance 50")
+	}
+}
+
+func TestCategoricalChanges(t *testing.T) {
+	src, tgt := snapshotPair(t)
+	a, err := Align(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := a.Changes("dept", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch) != 1 || ch[0].Old.Str() != "b" || ch[0].New.Str() != "z" {
+		t.Errorf("dept changes = %+v", ch)
+	}
+}
+
+func TestAllChangesAndUpdateDistance(t *testing.T) {
+	src, tgt := snapshotPair(t)
+	a, err := Align(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := a.AllChanges(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Errorf("all changes = %d, want 3", len(all))
+	}
+	d, err := a.UpdateDistance(0)
+	if err != nil || d != 3 {
+		t.Errorf("update distance = %d, %v", d, err)
+	}
+}
+
+func TestChangedAttrs(t *testing.T) {
+	src, tgt := snapshotPair(t)
+	a, err := Align(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs, err := a.ChangedAttrs(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(attrs) != 2 || attrs[0] != "pay" || attrs[1] != "dept" {
+		t.Errorf("changed attrs = %v", attrs)
+	}
+}
+
+func TestNullTransitionsAreChanges(t *testing.T) {
+	schema := table.Schema{{Name: "id", Type: table.Int}, {Name: "v", Type: table.Float}}
+	src := table.MustNew(schema)
+	tgt := table.MustNew(schema)
+	src.MustAppendRow(table.I(1), table.Null(table.Float))
+	src.MustAppendRow(table.I(2), table.F(5))
+	tgt.MustAppendRow(table.I(1), table.F(5))
+	tgt.MustAppendRow(table.I(2), table.Null(table.Float))
+	if err := src.SetKey("id"); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Align(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask, err := a.ChangedMask("v", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mask[0] || !mask[1] {
+		t.Errorf("null transitions not detected: %v", mask)
+	}
+}
+
+func TestIdenticalSnapshotsNoChanges(t *testing.T) {
+	src, _ := snapshotPair(t)
+	a, err := Align(src, src.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := a.UpdateDistance(0)
+	if err != nil || d != 0 {
+		t.Errorf("identical snapshots update distance = %d, %v", d, err)
+	}
+	attrs, err := a.ChangedAttrs(0)
+	if err != nil || len(attrs) != 0 {
+		t.Errorf("changed attrs on identical = %v", attrs)
+	}
+}
+
+func TestDeltaUnknownAttr(t *testing.T) {
+	src, tgt := snapshotPair(t)
+	a, err := Align(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Delta("ghost"); err == nil {
+		t.Error("unknown attr accepted")
+	}
+	if _, err := a.ChangedMask("ghost", 0); err == nil {
+		t.Error("unknown attr accepted in ChangedMask")
+	}
+}
+
+func TestAlignCommonToleratesInsertsAndDeletes(t *testing.T) {
+	schema := table.Schema{{Name: "id", Type: table.Int}, {Name: "pay", Type: table.Float}}
+	src := table.MustNew(schema)
+	tgt := table.MustNew(schema)
+	// src: 1,2,3 — tgt: 2,3,4 (1 deleted, 4 inserted; 2 changed).
+	src.MustAppendRow(table.I(1), table.F(100))
+	src.MustAppendRow(table.I(2), table.F(200))
+	src.MustAppendRow(table.I(3), table.F(300))
+	tgt.MustAppendRow(table.I(2), table.F(220))
+	tgt.MustAppendRow(table.I(3), table.F(300))
+	tgt.MustAppendRow(table.I(4), table.F(400))
+	if err := src.SetKey("id"); err != nil {
+		t.Fatal(err)
+	}
+	ca, err := AlignCommon(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ca.Deleted) != 1 || ca.Deleted[0] != 0 {
+		t.Errorf("deleted = %v", ca.Deleted)
+	}
+	if len(ca.Inserted) != 1 || ca.Inserted[0] != 2 {
+		t.Errorf("inserted = %v", ca.Inserted)
+	}
+	if ca.Source.NumRows() != 2 {
+		t.Fatalf("common rows = %d", ca.Source.NumRows())
+	}
+	mask, err := ca.ChangedMask("pay", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := 0
+	for _, c := range mask {
+		if c {
+			changed++
+		}
+	}
+	if changed != 1 {
+		t.Errorf("changed common rows = %d, want 1", changed)
+	}
+	// Strict Align must still reject this pair.
+	if _, err := Align(src, tgt); err == nil {
+		t.Error("strict alignment accepted insert/delete pair")
+	}
+}
+
+func TestAlignCommonIdenticalSets(t *testing.T) {
+	src, tgt := snapshotPair(t)
+	ca, err := AlignCommon(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ca.Deleted) != 0 || len(ca.Inserted) != 0 {
+		t.Errorf("no inserts/deletes expected: %v / %v", ca.Deleted, ca.Inserted)
+	}
+	if ca.Source.NumRows() != src.NumRows() {
+		t.Errorf("common rows = %d", ca.Source.NumRows())
+	}
+}
+
+func TestAlignCommonValidation(t *testing.T) {
+	src, tgt := snapshotPair(t)
+	other := table.MustNew(table.Schema{{Name: "id", Type: table.Int}})
+	if _, err := AlignCommon(src, other); !errors.Is(err, ErrSchemaMismatch) {
+		t.Errorf("schema mismatch: %v", err)
+	}
+	noKey := src.Clone()
+	if err := noKey.SetKey(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AlignCommon(noKey, tgt); !errors.Is(err, ErrNoKey) {
+		t.Errorf("no key: %v", err)
+	}
+}

@@ -1,0 +1,322 @@
+package dtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"charles/internal/predicate"
+	"charles/internal/table"
+)
+
+// labeledTable builds a table whose label is determined by (edu, exp):
+// PhD → 0, MS & exp ≥ 3 → 1, MS & exp < 3 → 2, BS → 3.
+func labeledTable(t *testing.T, n int, seed int64) (*table.Table, []int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tbl := table.MustNew(table.Schema{
+		{Name: "edu", Type: table.String},
+		{Name: "exp", Type: table.Int},
+		{Name: "noise", Type: table.Float},
+	})
+	labels := make([]int, 0, n)
+	edus := []string{"PhD", "MS", "BS"}
+	for i := 0; i < n; i++ {
+		edu := edus[rng.Intn(3)]
+		exp := int64(rng.Intn(10))
+		var label int
+		switch {
+		case edu == "PhD":
+			label = 0
+		case edu == "MS" && exp >= 3:
+			label = 1
+		case edu == "MS":
+			label = 2
+		default:
+			label = 3
+		}
+		tbl.MustAppendRow(table.S(edu), table.I(exp), table.F(rng.Float64()))
+		labels = append(labels, label)
+	}
+	return tbl, labels
+}
+
+func TestBuildRecoversPartitioning(t *testing.T) {
+	tbl, labels := labeledTable(t, 300, 1)
+	tree, err := Build(tbl, []string{"edu", "exp"}, labels, nil, Options{MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every row must be predicted with its true label (the partitioning is
+	// perfectly expressible at depth ≤ 4).
+	for r := 0; r < tbl.NumRows(); r++ {
+		got, err := tree.Predict(tbl, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != labels[r] {
+			t.Fatalf("row %d predicted %d, want %d", r, got, labels[r])
+		}
+	}
+	leaves := tree.Leaves()
+	if len(leaves) < 4 {
+		t.Errorf("leaves = %d, want ≥ 4", len(leaves))
+	}
+	// Leaves ordered by size descending.
+	for i := 1; i < len(leaves); i++ {
+		if len(leaves[i].Rows) > len(leaves[i-1].Rows) {
+			t.Error("leaves not sorted by row count")
+		}
+	}
+}
+
+func TestLeafPredicatesSelectTheirRows(t *testing.T) {
+	tbl, labels := labeledTable(t, 200, 2)
+	tree, err := Build(tbl, []string{"edu", "exp"}, labels, nil, Options{MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, leaf := range tree.Leaves() {
+		mask, err := leaf.Pred.Mask(tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range leaf.Rows {
+			if !mask[r] {
+				t.Fatalf("leaf predicate %s does not cover its own row %d", leaf.Pred, r)
+			}
+			if seen[r] {
+				t.Fatalf("row %d in two leaves", r)
+			}
+			seen[r] = true
+		}
+	}
+	if len(seen) != tbl.NumRows() {
+		t.Errorf("leaves cover %d rows, want %d", len(seen), tbl.NumRows())
+	}
+}
+
+func TestPureLabelsGiveSingleLeaf(t *testing.T) {
+	tbl, _ := labeledTable(t, 50, 3)
+	labels := make([]int, tbl.NumRows())
+	tree, err := Build(tbl, []string{"edu", "exp"}, labels, nil, Options{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := tree.Leaves()
+	if len(leaves) != 1 || !leaves[0].Pred.IsTrue() {
+		t.Errorf("pure labels should give a single TRUE leaf, got %d", len(leaves))
+	}
+	if tree.Depth() != 0 {
+		t.Errorf("depth = %d", tree.Depth())
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	tbl, labels := labeledTable(t, 300, 4)
+	tree, err := Build(tbl, []string{"edu", "exp"}, labels, nil, Options{MaxDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() > 1 {
+		t.Errorf("depth = %d, want ≤ 1", tree.Depth())
+	}
+	for _, leaf := range tree.Leaves() {
+		if leaf.Pred.Complexity() > 1 {
+			t.Errorf("leaf predicate too complex: %s", leaf.Pred)
+		}
+	}
+}
+
+func TestMinLeafRespected(t *testing.T) {
+	tbl, labels := labeledTable(t, 100, 5)
+	tree, err := Build(tbl, []string{"edu", "exp"}, labels, nil, Options{MaxDepth: 4, MinLeaf: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, leaf := range tree.Leaves() {
+		if len(leaf.Rows) < 20 {
+			t.Errorf("leaf with %d rows < MinLeaf 20", len(leaf.Rows))
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	tbl, labels := labeledTable(t, 10, 6)
+	if _, err := Build(tbl, []string{"ghost"}, labels, nil, Options{}); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if _, err := Build(tbl, []string{"edu"}, labels[:3], nil, Options{}); err == nil {
+		t.Error("label length mismatch accepted")
+	}
+	if _, err := Build(tbl, []string{"edu"}, labels, []int{}, Options{}); err == nil {
+		t.Error("empty row set accepted")
+	}
+}
+
+func TestBuildOnRowSubset(t *testing.T) {
+	tbl, labels := labeledTable(t, 100, 7)
+	rows := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	tree, err := Build(tbl, []string{"edu", "exp"}, labels, rows, Options{MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, leaf := range tree.Leaves() {
+		total += len(leaf.Rows)
+	}
+	if total != len(rows) {
+		t.Errorf("subset leaves cover %d rows, want %d", total, len(rows))
+	}
+}
+
+func TestNumericSplitsOnly(t *testing.T) {
+	tbl := table.MustNew(table.Schema{{Name: "x", Type: table.Float}})
+	labels := []int{0, 0, 1, 1}
+	for _, v := range []float64{1, 2, 10, 11} {
+		tbl.MustAppendRow(table.F(v))
+	}
+	tree, err := Build(tbl, []string{"x"}, labels, nil, Options{MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		got, _ := tree.Predict(tbl, r)
+		if got != labels[r] {
+			t.Errorf("row %d predicted %d", r, got)
+		}
+	}
+	// The split threshold should be a nice value strictly separating 2 and 10.
+	leaves := tree.Leaves()
+	for _, leaf := range leaves {
+		for _, a := range leaf.Pred.Atoms {
+			if a.Numeric && (a.Num <= 2 || a.Num > 10) {
+				t.Errorf("threshold %v outside (2, 10]", a.Num)
+			}
+		}
+	}
+}
+
+func TestNiceThreshold(t *testing.T) {
+	cases := []struct {
+		lo, hi float64
+	}{
+		{1, 4}, {2, 3}, {130000, 140000}, {0.01, 0.02}, {-5, -2}, {99, 101},
+	}
+	for _, c := range cases {
+		got := NiceThreshold(c.lo, c.hi)
+		if !(c.lo < got && got <= c.hi) {
+			t.Errorf("NiceThreshold(%v, %v) = %v not in (lo, hi]", c.lo, c.hi, got)
+		}
+	}
+	// Specific niceness: (1, 4] should give 3 (midpoint 2.5 → 1 sig digit).
+	if got := NiceThreshold(1, 4); got != 3 {
+		t.Errorf("NiceThreshold(1,4) = %v, want 3", got)
+	}
+	if got := NiceThreshold(23.1, 26.9); got != 25 {
+		t.Errorf("NiceThreshold(23.1,26.9) = %v, want 25", got)
+	}
+	// Degenerate interval.
+	if got := NiceThreshold(5, 5); got != 5 {
+		t.Errorf("degenerate = %v", got)
+	}
+}
+
+func TestNegateRoundTrip(t *testing.T) {
+	tbl, _ := labeledTable(t, 20, 8)
+	atoms := []predicate.Atom{
+		predicate.StrAtom("edu", predicate.Eq, "MS"),
+		predicate.NumAtom("exp", predicate.Lt, 3),
+	}
+	for _, a := range atoms {
+		n := negate(a)
+		for r := 0; r < tbl.NumRows(); r++ {
+			av, err := a.Eval(tbl, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nv, err := n.Eval(tbl, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if av == nv {
+				t.Fatalf("negate(%s) not complementary at row %d", a, r)
+			}
+		}
+	}
+}
+
+func TestNiceThresholdExactAtLargeMagnitudes(t *testing.T) {
+	// 160000..210000 must yield exactly 200000, not 199999.99999999997.
+	if got := NiceThreshold(160000, 210000); got != 200000 {
+		t.Errorf("NiceThreshold(160000, 210000) = %v, want exactly 200000", got)
+	}
+}
+
+func TestHighCardinalityNumericCapped(t *testing.T) {
+	// 5000 distinct values must produce a bounded candidate set, and the
+	// tree must still find a usable split.
+	tbl := table.MustNew(table.Schema{{Name: "x", Type: table.Float}})
+	labels := make([]int, 5000)
+	for i := 0; i < 5000; i++ {
+		tbl.MustAppendRow(table.F(float64(i) + 0.5))
+		if i >= 2500 {
+			labels[i] = 1
+		}
+	}
+	b := &builder{t: tbl, attrs: []string{"x"}, labels: labels, opts: Options{}.withDefaults()}
+	rows := make([]int, 5000)
+	for i := range rows {
+		rows[i] = i
+	}
+	atoms, err := b.candidates(tbl.MustColumn("x"), rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(atoms) > maxNumericThresholds {
+		t.Fatalf("candidates = %d, want ≤ %d", len(atoms), maxNumericThresholds)
+	}
+	tree, err := Build(tbl, []string{"x"}, labels, nil, Options{MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := 0
+	for r := 0; r < 5000; r++ {
+		got, _ := tree.Predict(tbl, r)
+		if got != labels[r] {
+			wrong++
+		}
+	}
+	// Quantile thresholds land near the class boundary; a few percent
+	// misclassified at worst.
+	if wrong > 250 {
+		t.Errorf("%d/5000 rows misclassified with capped thresholds", wrong)
+	}
+}
+
+func TestBoundaryPairsSmallAndLarge(t *testing.T) {
+	small := boundaryPairs([]float64{1, 2, 3})
+	if len(small) != 2 || small[0] != [2]float64{1, 2} {
+		t.Errorf("small boundaries = %v", small)
+	}
+	if boundaryPairs([]float64{7}) != nil {
+		t.Error("single value should have no boundaries")
+	}
+	big := make([]float64, 1000)
+	for i := range big {
+		big[i] = float64(i)
+	}
+	pairs := boundaryPairs(big)
+	if len(pairs) == 0 || len(pairs) > maxNumericThresholds {
+		t.Errorf("large boundaries = %d", len(pairs))
+	}
+	// Strictly increasing, adjacent values.
+	for i, p := range pairs {
+		if p[1] != p[0]+1 {
+			t.Errorf("pair %d not adjacent: %v", i, p)
+		}
+		if i > 0 && p[0] <= pairs[i-1][0] {
+			t.Error("pairs not increasing")
+		}
+	}
+}

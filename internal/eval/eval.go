@@ -1,0 +1,254 @@
+// Package eval measures how well a recovered change summary matches a
+// planted ground-truth policy. Two views are provided:
+//
+//   - cell-level: does the summary predict each row's evolved value?
+//     (precision / recall / F1 over changed rows, within a tolerance)
+//   - rule-level: greedy matching of recovered CTs to truth CTs by partition
+//     overlap (Jaccard), with coefficient error on matched pairs.
+package eval
+
+import (
+	"math"
+
+	"charles/internal/model"
+	"charles/internal/table"
+)
+
+// CellMetrics quantify row-level explanatory power.
+type CellMetrics struct {
+	// Precision: of the rows the summary claims changed (covered by a
+	// non-identity CT), the fraction whose predicted value is within Tol of
+	// the actual new value.
+	Precision float64
+	// Recall: of the rows that actually changed, the fraction covered and
+	// predicted within Tol.
+	Recall float64
+	F1     float64
+	// MAE over changed rows.
+	MAE float64
+}
+
+// Cells compares summary predictions against the actual evolved values.
+// actual is aligned to source rows; changed marks rows whose target really
+// changed; tol is the absolute prediction tolerance.
+func Cells(s *model.Summary, src *table.Table, actual []float64, changed []bool, tol float64) (*CellMetrics, error) {
+	preds, covered, err := s.Apply(src)
+	if err != nil {
+		return nil, err
+	}
+	tcol, err := src.Column(s.Target)
+	if err != nil {
+		return nil, err
+	}
+	m := &CellMetrics{}
+	var claimed, correctClaimed, actualChanged, recalled int
+	var sae float64
+	var nChanged int
+	for r := range preds {
+		within := math.Abs(preds[r]-actual[r]) <= tol
+		claimsChange := covered[r] && math.Abs(preds[r]-tcol.Float(r)) > tol
+		if claimsChange {
+			claimed++
+			if within {
+				correctClaimed++
+			}
+		}
+		if changed[r] {
+			actualChanged++
+			nChanged++
+			sae += math.Abs(preds[r] - actual[r])
+			if within {
+				recalled++
+			}
+		}
+	}
+	if claimed > 0 {
+		m.Precision = float64(correctClaimed) / float64(claimed)
+	} else if actualChanged == 0 {
+		m.Precision = 1
+	}
+	if actualChanged > 0 {
+		m.Recall = float64(recalled) / float64(actualChanged)
+		m.MAE = sae / float64(nChanged)
+	} else {
+		m.Recall = 1
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m, nil
+}
+
+// RuleMatch pairs one truth CT with its best recovered CT.
+type RuleMatch struct {
+	TruthIdx   int
+	GotIdx     int     // -1 when unmatched
+	Jaccard    float64 // partition overlap on src rows
+	CoefErr    float64 // max relative error across coefficients+intercept (matched pairs only)
+	ExactShape bool    // same condition fingerprint
+}
+
+// RuleMetrics aggregates rule-level recovery quality.
+type RuleMetrics struct {
+	Matches []RuleMatch
+	// MeanJaccard over truth rules (unmatched = 0).
+	MeanJaccard float64
+	// RulePrecision / RuleRecall: a truth rule counts as recovered when its
+	// best match has Jaccard ≥ 0.9; a recovered CT counts as correct when it
+	// is some truth rule's best match at Jaccard ≥ 0.9.
+	RulePrecision float64
+	RuleRecall    float64
+	RuleF1        float64
+}
+
+// Rules greedily matches recovered CTs to truth CTs by partition Jaccard on
+// the source table.
+func Rules(truth, got *model.Summary, src *table.Table) (*RuleMetrics, error) {
+	truthRows, err := ctRows(truth, src)
+	if err != nil {
+		return nil, err
+	}
+	gotRows, err := ctRows(got, src)
+	if err != nil {
+		return nil, err
+	}
+	usedGot := map[int]bool{}
+	rm := &RuleMetrics{}
+	const threshold = 0.9
+	var recovered int
+	for ti := range truth.CTs {
+		best, bestJ := -1, 0.0
+		for gi := range got.CTs {
+			if usedGot[gi] {
+				continue
+			}
+			j := jaccard(truthRows[ti], gotRows[gi])
+			if j > bestJ {
+				best, bestJ = gi, j
+			}
+		}
+		match := RuleMatch{TruthIdx: ti, GotIdx: best, Jaccard: bestJ}
+		if best >= 0 {
+			usedGot[best] = true
+			match.CoefErr = coefErr(truth.CTs[ti].Tran, got.CTs[best].Tran)
+			match.ExactShape = truth.CTs[ti].Cond.Fingerprint() == got.CTs[best].Cond.Fingerprint()
+			if bestJ >= threshold {
+				recovered++
+			}
+		}
+		rm.Matches = append(rm.Matches, match)
+		rm.MeanJaccard += bestJ
+	}
+	if len(truth.CTs) > 0 {
+		rm.MeanJaccard /= float64(len(truth.CTs))
+		rm.RuleRecall = float64(recovered) / float64(len(truth.CTs))
+	} else {
+		rm.MeanJaccard = 1
+		rm.RuleRecall = 1
+	}
+	if len(got.CTs) > 0 {
+		rm.RulePrecision = float64(recovered) / float64(len(got.CTs))
+	} else if len(truth.CTs) == 0 {
+		rm.RulePrecision = 1
+	}
+	if rm.RulePrecision+rm.RuleRecall > 0 {
+		rm.RuleF1 = 2 * rm.RulePrecision * rm.RuleRecall / (rm.RulePrecision + rm.RuleRecall)
+	}
+	return rm, nil
+}
+
+func ctRows(s *model.Summary, src *table.Table) ([]map[int]bool, error) {
+	out := make([]map[int]bool, len(s.CTs))
+	claimed := make([]bool, src.NumRows())
+	for i, ct := range s.CTs {
+		rows := map[int]bool{}
+		for r := 0; r < src.NumRows(); r++ {
+			if claimed[r] {
+				continue // first-match semantics, same as Summary.Apply
+			}
+			ok, err := ct.Cond.Eval(src, r)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				rows[r] = true
+				claimed[r] = true
+			}
+		}
+		out[i] = rows
+	}
+	return out, nil
+}
+
+func jaccard(a, b map[int]bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := 0
+	for r := range a {
+		if b[r] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// coefErr returns the maximum relative error between the constants of two
+// transformations over the union of their input attributes.
+func coefErr(truth, got model.Transformation) float64 {
+	if truth.NoChange || got.NoChange {
+		if truth.NoChange == got.NoChange {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	tc := coefMap(truth)
+	gc := coefMap(got)
+	maxErr := relErr(truth.Intercept, got.Intercept, scaleOf(truth))
+	for attr, tv := range tc {
+		maxErr = math.Max(maxErr, relErr(tv, gc[attr], math.Abs(tv)))
+	}
+	for attr, gv := range gc {
+		if _, ok := tc[attr]; !ok {
+			maxErr = math.Max(maxErr, relErr(0, gv, 1))
+		}
+	}
+	return maxErr
+}
+
+func coefMap(t model.Transformation) map[string]float64 {
+	m := map[string]float64{}
+	// InputNames handles both representations: plain attributes and derived
+	// features (whose display names — ln(pay), pay² — only ever match a
+	// truth rule that uses the same feature).
+	for i, in := range t.InputNames() {
+		if t.Coef[i] != 0 {
+			m[in] = t.Coef[i]
+		}
+	}
+	return m
+}
+
+func relErr(want, got, scale float64) float64 {
+	if scale <= 0 {
+		scale = math.Max(math.Abs(want), 1)
+	}
+	return math.Abs(want-got) / scale
+}
+
+func scaleOf(t model.Transformation) float64 {
+	s := math.Abs(t.Intercept)
+	for _, c := range t.Coef {
+		if a := math.Abs(c); a > s {
+			s = a
+		}
+	}
+	if s == 0 {
+		return 1
+	}
+	return s
+}

@@ -1,0 +1,220 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"charles/internal/model"
+	"charles/internal/predicate"
+	"charles/internal/table"
+)
+
+func evalFixture(t *testing.T) (*table.Table, []float64, []bool, *model.Summary) {
+	t.Helper()
+	tbl := table.MustNew(table.Schema{
+		{Name: "grp", Type: table.String},
+		{Name: "pay", Type: table.Float},
+	})
+	for i, g := range []string{"a", "a", "b", "b", "c", "c"} {
+		tbl.MustAppendRow(table.S(g), table.F(float64(1000*(i+1))))
+	}
+	// Truth: grp=a → ×1.1, grp=b → +500, grp=c unchanged.
+	truth := &model.Summary{
+		Target: "pay",
+		CTs: []model.CT{
+			{
+				Cond: predicate.Predicate{Atoms: []predicate.Atom{predicate.StrAtom("grp", predicate.Eq, "a")}},
+				Tran: model.Transformation{Target: "pay", Inputs: []string{"pay"}, Coef: []float64{1.1}},
+			},
+			{
+				Cond: predicate.Predicate{Atoms: []predicate.Atom{predicate.StrAtom("grp", predicate.Eq, "b")}},
+				Tran: model.Transformation{Target: "pay", Inputs: []string{"pay"}, Coef: []float64{1}, Intercept: 500},
+			},
+		},
+	}
+	actual := []float64{1100, 2200, 3500, 4500, 5000, 6000}
+	changed := []bool{true, true, true, true, false, false}
+	return tbl, actual, changed, truth
+}
+
+func TestCellsPerfectRecovery(t *testing.T) {
+	tbl, actual, changed, truth := evalFixture(t)
+	m, err := Cells(truth, tbl, actual, changed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Precision != 1 || m.Recall != 1 || m.F1 != 1 {
+		t.Errorf("perfect recovery: %+v", m)
+	}
+	if m.MAE > 1e-9 {
+		t.Errorf("MAE = %v", m.MAE)
+	}
+}
+
+func TestCellsEmptySummary(t *testing.T) {
+	tbl, actual, changed, _ := evalFixture(t)
+	m, err := Cells(&model.Summary{Target: "pay"}, tbl, actual, changed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Recall != 0 {
+		t.Errorf("empty summary recall = %v", m.Recall)
+	}
+	if m.F1 != 0 {
+		t.Errorf("empty summary F1 = %v", m.F1)
+	}
+}
+
+func TestCellsWrongCoefficients(t *testing.T) {
+	tbl, actual, changed, truth := evalFixture(t)
+	wrong := &model.Summary{Target: "pay", CTs: []model.CT{
+		{
+			Cond: truth.CTs[0].Cond,
+			Tran: model.Transformation{Target: "pay", Inputs: []string{"pay"}, Coef: []float64{2}},
+		},
+	}}
+	m, err := Cells(wrong, tbl, actual, changed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Precision != 0 {
+		t.Errorf("wrong predictions should give precision 0, got %v", m.Precision)
+	}
+}
+
+func TestCellsNoChangesAtAll(t *testing.T) {
+	tbl, _, _, _ := evalFixture(t)
+	actual := []float64{1000, 2000, 3000, 4000, 5000, 6000}
+	changed := make([]bool, 6)
+	m, err := Cells(&model.Summary{Target: "pay"}, tbl, actual, changed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Precision != 1 || m.Recall != 1 {
+		t.Errorf("vacuous metrics should be 1: %+v", m)
+	}
+}
+
+func TestRulesExactMatch(t *testing.T) {
+	tbl, _, _, truth := evalFixture(t)
+	rm, err := Rules(truth, truth, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.MeanJaccard != 1 || rm.RuleF1 != 1 {
+		t.Errorf("self-match: %+v", rm)
+	}
+	for _, m := range rm.Matches {
+		if !m.ExactShape || m.CoefErr > 1e-12 {
+			t.Errorf("match not exact: %+v", m)
+		}
+	}
+}
+
+func TestRulesEquivalentConditionDifferentSyntax(t *testing.T) {
+	tbl, _, _, truth := evalFixture(t)
+	// Recovered condition "grp ≠ b ∧ grp ≠ c" selects the same rows as
+	// "grp = a": Jaccard must be 1 even though fingerprints differ.
+	got := &model.Summary{Target: "pay", CTs: []model.CT{
+		{
+			Cond: predicate.Predicate{Atoms: []predicate.Atom{
+				predicate.StrAtom("grp", predicate.Ne, "b"), predicate.StrAtom("grp", predicate.Ne, "c"),
+			}},
+			Tran: truth.CTs[0].Tran,
+		},
+		truth.CTs[1],
+	}}
+	rm, err := Rules(truth, got, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.MeanJaccard != 1 || rm.RuleRecall != 1 {
+		t.Errorf("semantic equivalence missed: %+v", rm)
+	}
+	if rm.Matches[0].ExactShape {
+		t.Error("different syntax should not claim exact shape")
+	}
+}
+
+func TestRulesPartialRecovery(t *testing.T) {
+	tbl, _, _, truth := evalFixture(t)
+	got := &model.Summary{Target: "pay", CTs: []model.CT{truth.CTs[0]}}
+	rm, err := Rules(truth, got, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.RuleRecall != 0.5 {
+		t.Errorf("recall = %v, want 0.5", rm.RuleRecall)
+	}
+	if rm.RulePrecision != 1 {
+		t.Errorf("precision = %v, want 1", rm.RulePrecision)
+	}
+	wantF1 := 2 * 0.5 * 1 / 1.5
+	if math.Abs(rm.RuleF1-wantF1) > 1e-12 {
+		t.Errorf("F1 = %v, want %v", rm.RuleF1, wantF1)
+	}
+}
+
+func TestRulesCoefficientError(t *testing.T) {
+	tbl, _, _, truth := evalFixture(t)
+	offCoef := &model.Summary{Target: "pay", CTs: []model.CT{
+		{
+			Cond: truth.CTs[0].Cond,
+			Tran: model.Transformation{Target: "pay", Inputs: []string{"pay"}, Coef: []float64{1.21}},
+		},
+		truth.CTs[1],
+	}}
+	rm, err := Rules(truth, offCoef, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.Matches[0].CoefErr < 0.05 {
+		t.Errorf("10%% coefficient error underestimated: %v", rm.Matches[0].CoefErr)
+	}
+}
+
+func TestRulesEmptyTruth(t *testing.T) {
+	tbl, _, _, _ := evalFixture(t)
+	empty := &model.Summary{Target: "pay"}
+	rm, err := Rules(empty, empty, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.RuleF1 != 1 || rm.MeanJaccard != 1 {
+		t.Errorf("empty-vs-empty should be perfect: %+v", rm)
+	}
+}
+
+func TestRulesFirstMatchSemanticsInPartitions(t *testing.T) {
+	tbl, _, _, _ := evalFixture(t)
+	// Two overlapping recovered CTs: the first claims all rows, so the
+	// second gets none; the truth rule for grp=a must match the first only.
+	got := &model.Summary{Target: "pay", CTs: []model.CT{
+		{Cond: predicate.True(), Tran: model.Transformation{Target: "pay", Inputs: []string{"pay"}, Coef: []float64{1.1}}},
+		{Cond: predicate.Predicate{Atoms: []predicate.Atom{predicate.StrAtom("grp", predicate.Eq, "a")}},
+			Tran: model.Transformation{Target: "pay", Inputs: []string{"pay"}, Coef: []float64{1.1}}},
+	}}
+	truth := &model.Summary{Target: "pay", CTs: []model.CT{
+		{Cond: predicate.Predicate{Atoms: []predicate.Atom{predicate.StrAtom("grp", predicate.Eq, "a")}},
+			Tran: model.Transformation{Target: "pay", Inputs: []string{"pay"}, Coef: []float64{1.1}}},
+	}}
+	rm, err := Rules(truth, got, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TRUE claims all 6 rows; a-rows are 2 of them → Jaccard 2/6.
+	if math.Abs(rm.Matches[0].Jaccard-1.0/3) > 1e-12 {
+		t.Errorf("jaccard = %v, want 1/3", rm.Matches[0].Jaccard)
+	}
+}
+
+func TestCoefErrIdentityVsLinear(t *testing.T) {
+	id := model.Identity("pay")
+	lin := model.Transformation{Target: "pay", Inputs: []string{"pay"}, Coef: []float64{1.1}}
+	if coefErr(id, id) != 0 {
+		t.Error("identity vs identity should be 0")
+	}
+	if !math.IsInf(coefErr(id, lin), 1) {
+		t.Error("identity vs linear should be infinite")
+	}
+}

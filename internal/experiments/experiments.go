@@ -1,0 +1,96 @@
+// Package experiments regenerates every figure and demo artifact of the
+// ChARLES paper (see DESIGN.md's experiment index E1–E11), plus the
+// robustness and scalability studies a full reproduction needs. Each
+// experiment returns a Report with the formatted rows the paper shows and a
+// bag of named values that tests and EXPERIMENTS.md assertions consume.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report is one experiment's outcome.
+type Report struct {
+	ID    string
+	Title string
+	// Text is the human-readable table/series mirroring the paper artifact.
+	Text string
+	// Values holds machine-checkable results ("top_score", "rule_f1", ...).
+	Values map[string]float64
+}
+
+func newReport(id, title string) *Report {
+	return &Report{ID: id, Title: title, Values: map[string]float64{}}
+}
+
+func (r *Report) printf(format string, args ...any) {
+	r.Text += fmt.Sprintf(format, args...)
+}
+
+// String renders the report with a header.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s — %s ===\n", r.ID, r.Title)
+	b.WriteString(r.Text)
+	if len(r.Values) > 0 {
+		keys := make([]string, 0, len(r.Values))
+		for k := range r.Values {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("values: ")
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s=%.4g", k, r.Values[k])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Config tunes experiment cost. Quick mode shrinks data sizes so the whole
+// suite runs in seconds (used by tests); full mode matches the paper's
+// scale (used by cmd/charles-bench and the benchmarks).
+type Config struct {
+	Quick bool
+}
+
+// Runner is one registered experiment.
+type Runner struct {
+	ID   string
+	Name string
+	Run  func(Config) (*Report, error)
+}
+
+// All returns the experiment registry in order.
+func All() []Runner {
+	return []Runner{
+		{"E1", "toy policy recovery (Fig 1, Fig 2, Example 1)", E1ToyRecovery},
+		{"E2", "ranked summary list (demo step 8)", E2RankedSummaries},
+		{"E3", "attribute selection (demo steps 4-5)", E3AttributeSelection},
+		{"E4", "partition treemap (demo step 10)", E4Treemap},
+		{"E5", "accuracy-interpretability tradeoff (alpha sweep)", E5AlphaSweep},
+		{"E6", "Montgomery salary simulation (demo §3)", E6Montgomery},
+		{"E7", "search-space growth in c and t (§2)", E7SearchSpace},
+		{"E8", "baseline comparison (§1 related work)", E8Baselines},
+		{"E9", "noise and unchanged-fraction robustness", E9Noise},
+		{"E10", "scalability in rows", E10Scalability},
+		{"E11", "billionaires simulation (demo §3, dataset [2])", E11Billionaires},
+		{"E12", "ablation of engine design choices", E12Ablation},
+		{"E13", "nonlinear feature extension (limitations §)", E13Nonlinear},
+	}
+}
+
+// Run executes one experiment by id (case-insensitive).
+func Run(id string, cfg Config) (*Report, error) {
+	for _, r := range All() {
+		if strings.EqualFold(r.ID, id) {
+			return r.Run(cfg)
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+}

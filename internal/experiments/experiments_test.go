@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment suite in quick mode is the integration test of record:
+// each assertion below pins the *shape* of a paper artifact (who wins, by
+// roughly what factor, where crossovers fall), per EXPERIMENTS.md.
+
+func runQ(t *testing.T, id string) *Report {
+	t.Helper()
+	rep, err := Run(id, Config{Quick: true})
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	return rep
+}
+
+func TestE1ToyRecovery(t *testing.T) {
+	rep := runQ(t, "E1")
+	if rep.Values["top_score"] < 0.85 {
+		t.Errorf("top score = %v, want ≥ 0.85 (paper: 89%%)", rep.Values["top_score"])
+	}
+	if rep.Values["mean_jaccard"] < 0.99 {
+		t.Errorf("partition recovery Jaccard = %v", rep.Values["mean_jaccard"])
+	}
+	if rep.Values["rule_f1"] < 0.99 {
+		t.Errorf("rule F1 = %v", rep.Values["rule_f1"])
+	}
+	if rep.Values["summary_size"] != 3 {
+		t.Errorf("summary size = %v, want 3 (R1-R3)", rep.Values["summary_size"])
+	}
+	if !strings.Contains(rep.Text, "1.05×bonus + 1000") {
+		t.Error("R1 transformation not in report")
+	}
+	if !strings.Contains(rep.Text, "(no change)") {
+		t.Error("Fig 2 None leaf not rendered")
+	}
+}
+
+func TestE2RankedList(t *testing.T) {
+	rep := runQ(t, "E2")
+	if rep.Values["count"] != 10 {
+		t.Errorf("summaries = %v, want the demo's top-10", rep.Values["count"])
+	}
+	if rep.Values["monotone"] != 1 {
+		t.Error("ranking not monotone")
+	}
+	if rep.Values["top_score"] <= rep.Values["second_score"] {
+		t.Error("top summary should strictly dominate")
+	}
+}
+
+func TestE3AttributeSelection(t *testing.T) {
+	rep := runQ(t, "E3")
+	if rep.Values["cond_top_is_edu"] != 1 {
+		t.Error("edu should top the condition ranking")
+	}
+	if rep.Values["tran_shortlist_ok"] != 1 {
+		t.Error("transformation shortlist should be {bonus, salary}")
+	}
+	if rep.Values["tran_bonus"] < 0.9 {
+		t.Errorf("bonus correlation = %v", rep.Values["tran_bonus"])
+	}
+	// Gender carries almost no signal about the change (the planted policy
+	// ignores it) — it must rank below edu.
+	if rep.Values["cond_gen"] >= rep.Values["cond_edu"] {
+		t.Error("gen should rank below edu")
+	}
+}
+
+func TestE4Treemap(t *testing.T) {
+	rep := runQ(t, "E4")
+	// The demo highlights a 33.3% top partition on the toy data.
+	if v := rep.Values["max_coverage"]; v < 0.32 || v > 0.35 {
+		t.Errorf("max coverage = %v, want ≈ 1/3", v)
+	}
+	// The BS employees (2/9) remain as the hatched no-change partition.
+	if v := rep.Values["nochange"]; v < 0.21 || v > 0.24 {
+		t.Errorf("no-change partition = %v, want ≈ 2/9", v)
+	}
+	if !strings.Contains(rep.Text, "░") {
+		t.Error("no-change partition not hatched")
+	}
+}
+
+func TestE5AlphaTradeoff(t *testing.T) {
+	rep := runQ(t, "E5")
+	// Crossover: small summaries win at low α, the exact 3-CT policy at
+	// high α.
+	if rep.Values["size_low_alpha"] >= rep.Values["size_high_alpha"] {
+		t.Errorf("no interpretability→accuracy crossover: %v vs %v",
+			rep.Values["size_low_alpha"], rep.Values["size_high_alpha"])
+	}
+	if rep.Values["size_high_alpha"] != 3 {
+		t.Errorf("high-alpha size = %v, want 3", rep.Values["size_high_alpha"])
+	}
+	// Accuracy of the winner is monotone non-decreasing in α.
+	prev := -1.0
+	for i := 0; i <= 10; i++ {
+		acc := rep.Values[keyA(i)]
+		if acc < prev-1e-9 {
+			t.Errorf("winner accuracy decreased at alpha=%d/10", i)
+		}
+		prev = acc
+	}
+}
+
+func keyA(i int) string {
+	return "acc_a" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+func TestE6MontgomeryQuick(t *testing.T) {
+	rep := runQ(t, "E6")
+	if rep.Values["rule_f1_n1000"] < 0.99 {
+		t.Errorf("Montgomery rule F1 = %v", rep.Values["rule_f1_n1000"])
+	}
+	if rep.Values["cell_f1_n1000"] < 0.99 {
+		t.Errorf("Montgomery cell F1 = %v", rep.Values["cell_f1_n1000"])
+	}
+}
+
+func TestE7SearchSpaceGrowth(t *testing.T) {
+	rep := runQ(t, "E7")
+	// Candidates grow with c and t.
+	if !(rep.Values["cands_c1_t1"] < rep.Values["cands_c2_t1"] &&
+		rep.Values["cands_c2_t1"] < rep.Values["cands_c3_t1"]) {
+		t.Error("candidate count not growing in c")
+	}
+	if rep.Values["cands_c1_t1"] >= rep.Values["cands_c1_t2"] {
+		t.Error("candidate count not growing in t")
+	}
+	// Quality: the depth-2 planted policy needs c ≥ 2 to be describable;
+	// the score at c=3 must dominate c=1.
+	if rep.Values["score_c3_t1"] <= rep.Values["score_c1_t1"] {
+		t.Error("richer condition space should score higher")
+	}
+}
+
+func TestE8BaselineOrdering(t *testing.T) {
+	rep := runQ(t, "E8")
+	ch := rep.Values["charles_score"]
+	if ch <= rep.Values["global_score"] || ch <= rep.Values["celllist_score"] || ch <= rep.Values["nochange_score"] {
+		t.Errorf("ChARLES (%.3f) must beat all baselines (global %.3f, cells %.3f, nochange %.3f)",
+			ch, rep.Values["global_score"], rep.Values["celllist_score"], rep.Values["nochange_score"])
+	}
+	if rep.Values["celllist_accuracy"] < 1-1e-9 {
+		t.Error("cell list must be perfectly accurate")
+	}
+	if rep.Values["update_distance"] <= 0 {
+		t.Error("update distance should be positive")
+	}
+}
+
+func TestE9NoiseGracefulDegradation(t *testing.T) {
+	rep := runQ(t, "E9")
+	// Rule recovery must survive moderate noise.
+	if rep.Values["rule_f1_noise000_unch03"] < 0.99 {
+		t.Errorf("clean rule F1 = %v", rep.Values["rule_f1_noise000_unch03"])
+	}
+	if rep.Values["rule_f1_noise010_unch03"] < 0.6 {
+		t.Errorf("10%%-noise rule F1 = %v, degraded too fast", rep.Values["rule_f1_noise010_unch03"])
+	}
+}
+
+func TestE10ScalabilityRuns(t *testing.T) {
+	rep := runQ(t, "E10")
+	if rep.Values["ms_n2000"] <= 0 {
+		t.Error("no timing recorded")
+	}
+	// Sanity: quick sizes complete in seconds, not minutes.
+	if rep.Values["ms_n2000"] > 60000 {
+		t.Errorf("n=2000 took %vms", rep.Values["ms_n2000"])
+	}
+}
+
+func TestE11Billionaires(t *testing.T) {
+	rep := runQ(t, "E11")
+	if rep.Values["rule_f1"] < 0.99 {
+		t.Errorf("billionaires rule F1 = %v", rep.Values["rule_f1"])
+	}
+	if !strings.Contains(rep.Text, "sector = Tech") {
+		t.Error("Tech rule not recovered")
+	}
+}
+
+func TestE12Ablation(t *testing.T) {
+	rep := runQ(t, "E12")
+	full := rep.Values["score_full"]
+	if rep.Values["score_norefine"] >= full {
+		t.Errorf("refinement ablation should hurt: %v vs %v", rep.Values["score_norefine"], full)
+	}
+	if rep.Values["rule_f1_norefine"] >= rep.Values["rule_f1_full"] {
+		t.Error("refinement ablation should hurt rule recovery")
+	}
+	if rep.Values["score_nosnap"] > full+1e-9 {
+		t.Error("snapping ablation should not beat the full engine")
+	}
+	// Robustness protects coefficient fidelity under corruption.
+	if rep.Values["coef_err_robust"] >= rep.Values["coef_err_norobust"] {
+		t.Errorf("robust fit should have lower coefficient error: %v vs %v",
+			rep.Values["coef_err_robust"], rep.Values["coef_err_norobust"])
+	}
+	if rep.Values["coef_err_robust"] > 0.01 {
+		t.Errorf("robust coefficient error = %v, want ≈ 0", rep.Values["coef_err_robust"])
+	}
+}
+
+func TestE13Nonlinear(t *testing.T) {
+	rep := runQ(t, "E13")
+	if rep.Values["acc_nonlinear"] < 0.99 {
+		t.Errorf("nonlinear accuracy = %v", rep.Values["acc_nonlinear"])
+	}
+	if rep.Values["mae_nonlinear"] >= rep.Values["mae_linear"] {
+		t.Errorf("nonlinear MAE %v should beat linear %v",
+			rep.Values["mae_nonlinear"], rep.Values["mae_linear"])
+	}
+	if rep.Values["score_nonlinear"] <= rep.Values["score_linear"] {
+		t.Error("nonlinear engine should win on a nonlinear policy")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 13 {
+		t.Fatalf("registry has %d experiments", len(all))
+	}
+	if _, err := Run("E999", Config{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	// Case-insensitive lookup.
+	if _, err := Run("e1", Config{Quick: true}); err != nil {
+		t.Errorf("case-insensitive run failed: %v", err)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	rep := newReport("EX", "test")
+	rep.printf("hello %d\n", 42)
+	rep.Values["v"] = 1.5
+	out := rep.String()
+	if !strings.Contains(out, "=== EX — test ===") || !strings.Contains(out, "hello 42") || !strings.Contains(out, "v=1.5") {
+		t.Errorf("report rendering:\n%s", out)
+	}
+}

@@ -1,0 +1,288 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"charles/internal/diff"
+)
+
+func TestToyMatchesFigure1(t *testing.T) {
+	src, tgt := Toy()
+	if src.NumRows() != 9 || tgt.NumRows() != 9 {
+		t.Fatalf("rows = %d, %d", src.NumRows(), tgt.NumRows())
+	}
+	// Spot-check cells straight from the paper's Figure 1.
+	v, err := src.Value(0, "bonus")
+	if err != nil || v.Float() != 23000 {
+		t.Errorf("Anne 2016 bonus = %v", v)
+	}
+	v, _ = tgt.Value(0, "bonus")
+	if v.Float() != 25150 {
+		t.Errorf("Anne 2017 bonus = %v", v)
+	}
+	v, _ = tgt.Value(4, "bonus")
+	if v.Float() != 11000 {
+		t.Errorf("Cathy 2017 bonus should be unchanged: %v", v)
+	}
+	v, _ = src.Value(8, "exp")
+	if v.Float() != 1 {
+		t.Errorf("Frank 2016 exp = %v", v)
+	}
+	v, _ = tgt.Value(8, "exp")
+	if v.Float() != 2 {
+		t.Errorf("Frank 2017 exp = %v (should be incremented)", v)
+	}
+}
+
+func TestToyTruthExplainsToyData(t *testing.T) {
+	src, tgt := Toy()
+	truth := ToyTruth()
+	preds, _, err := truth.Apply(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := diff.Align(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, newVals, err := a.Delta("bonus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range preds {
+		if math.Abs(preds[r]-newVals[r]) > 1e-6 {
+			t.Errorf("row %d: truth predicts %v, actual %v", r, preds[r], newVals[r])
+		}
+	}
+}
+
+func TestPlantedTruthConsistencyNoNoise(t *testing.T) {
+	d, err := Planted(PlantedConfig{N: 500, Seed: 3, Rules: 3, RuleDepth: 2, UnchangedFrac: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, _, err := d.Truth.Apply(d.Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := diff.Align(d.Src, d.Tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, newVals, err := a.Delta(d.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range preds {
+		if math.Abs(preds[r]-newVals[r]) > 1e-6 {
+			t.Fatalf("row %d: planted truth predicts %v, generated %v", r, preds[r], newVals[r])
+		}
+	}
+}
+
+func TestPlantedDeterministic(t *testing.T) {
+	a, err := Planted(PlantedConfig{N: 200, Seed: 9, Rules: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Planted(PlantedConfig{N: 200, Seed: 9, Rules: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Src.Equal(b.Src) || !a.Tgt.Equal(b.Tgt) {
+		t.Error("same seed produced different data")
+	}
+	c, err := Planted(PlantedConfig{N: 200, Seed: 10, Rules: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Src.Equal(c.Src) {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestPlantedUnchangedFraction(t *testing.T) {
+	d, err := Planted(PlantedConfig{N: 2000, Seed: 4, Rules: 3, UnchangedFrac: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := diff.Align(d.Src, d.Tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask, err := a.ChangedMask(d.Target, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := 0
+	for _, ch := range mask {
+		if ch {
+			changed++
+		}
+	}
+	frac := float64(changed) / float64(len(mask))
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("changed fraction = %v, want ≈ 0.5", frac)
+	}
+}
+
+func TestPlantedNoiseActuallyPerturbs(t *testing.T) {
+	clean, err := Planted(PlantedConfig{N: 300, Seed: 5, Rules: 2, NoiseStd: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := Planted(PlantedConfig{N: 300, Seed: 5, Rules: 2, NoiseStd: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Tgt.Equal(noisy.Tgt) {
+		t.Error("noise had no effect")
+	}
+	// Sources identical: noise applies to evolution only.
+	if !clean.Src.Equal(noisy.Src) {
+		t.Error("noise should not perturb the source snapshot")
+	}
+}
+
+func TestPlantedDistractors(t *testing.T) {
+	d, err := Planted(PlantedConfig{N: 50, Seed: 6, Rules: 2, Distractors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Src.HasColumn("noisecat0") || !d.Src.HasColumn("noisenum0") {
+		t.Errorf("distractor columns missing: %v", d.Src.Schema().Names())
+	}
+}
+
+func TestMontgomeryTruthConsistency(t *testing.T) {
+	d, err := Montgomery(7, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Src.NumRows() != 800 {
+		t.Fatalf("rows = %d", d.Src.NumRows())
+	}
+	preds, _, err := d.Truth.Apply(d.Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := diff.Align(d.Src, d.Tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, newVals, err := a.Delta(d.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range preds {
+		if math.Abs(preds[r]-newVals[r]) > 1e-6 {
+			t.Fatalf("row %d: policy predicts %v, generated %v", r, preds[r], newVals[r])
+		}
+	}
+}
+
+func TestMontgomerySchemaMatchesPaper(t *testing.T) {
+	d, err := Montgomery(1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range []string{"department", "department_name", "division", "gender", "base_salary", "overtime_pay", "longevity_pay", "grade"} {
+		if !d.Src.HasColumn(col) {
+			t.Errorf("missing paper attribute %q", col)
+		}
+	}
+}
+
+func TestBillionairesTruthConsistency(t *testing.T) {
+	d, err := Billionaires(11, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, _, err := d.Truth.Apply(d.Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := diff.Align(d.Src, d.Tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, newVals, err := a.Delta(d.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range preds {
+		if math.Abs(preds[r]-newVals[r]) > 1e-9 {
+			t.Fatalf("row %d: policy predicts %v, generated %v", r, preds[r], newVals[r])
+		}
+	}
+}
+
+func TestGeneratorDefaults(t *testing.T) {
+	d, err := Montgomery(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Src.NumRows() != 9000 {
+		t.Errorf("default Montgomery rows = %d, want 9000", d.Src.NumRows())
+	}
+	b, err := Billionaires(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Src.NumRows() != 2500 {
+		t.Errorf("default billionaires rows = %d, want 2500", b.Src.NumRows())
+	}
+}
+
+func TestPlantedNonlinearTruthConsistency(t *testing.T) {
+	d, err := PlantedNonlinear(31, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, _, err := d.Truth.Apply(d.Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := diff.Align(d.Src, d.Tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, newVals, err := a.Delta(d.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range preds {
+		if math.Abs(preds[r]-newVals[r]) > 1e-6 {
+			t.Fatalf("row %d: nonlinear truth predicts %v, generated %v", r, preds[r], newVals[r])
+		}
+	}
+	if d2, _ := PlantedNonlinear(31, 0); d2.Src.NumRows() != 1500 {
+		t.Errorf("default nonlinear rows = %d", d2.Src.NumRows())
+	}
+}
+
+func TestPlantedConfigClamps(t *testing.T) {
+	// Out-of-range knobs clamp instead of failing.
+	d, err := Planted(PlantedConfig{N: 100, Seed: 1, Rules: 99, RuleDepth: 7, UnchangedFrac: 2.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Truth.Size() > 8 {
+		t.Errorf("rules clamp failed: %d", d.Truth.Size())
+	}
+	neg, err := Planted(PlantedConfig{N: 100, Seed: 1, Rules: 1, UnchangedFrac: -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if neg.Src.NumRows() != 100 {
+		t.Errorf("rows = %d", neg.Src.NumRows())
+	}
+	def, err := Planted(PlantedConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Src.NumRows() != 1000 || def.Truth.Size() != 3 {
+		t.Errorf("defaults: rows=%d rules=%d", def.Src.NumRows(), def.Truth.Size())
+	}
+}

@@ -1,0 +1,266 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"charles/internal/model"
+	"charles/internal/predicate"
+	"charles/internal/table"
+)
+
+// montgomeryDepts mirrors the department structure of the real Montgomery
+// County payroll (police, fire, health, transportation, ...), with rough
+// head-count weights and salary bands.
+var montgomeryDepts = []struct {
+	code      string
+	name      string
+	divisions []string
+	weight    float64
+	baseLo    float64
+	baseHi    float64
+}{
+	{"POL", "Department of Police", []string{"Patrol", "Investigations", "Traffic"}, 0.25, 55000, 115000},
+	{"FRS", "Fire and Rescue Service", []string{"Operations", "Prevention"}, 0.20, 50000, 105000},
+	{"HHS", "Health and Human Services", []string{"Public Health", "Children Services"}, 0.18, 45000, 95000},
+	{"DOT", "Department of Transportation", []string{"Highway", "Transit"}, 0.15, 42000, 90000},
+	{"LIB", "Public Libraries", []string{"Branches", "Collections"}, 0.08, 38000, 80000},
+	{"FIN", "Department of Finance", []string{"Treasury", "Payroll"}, 0.07, 52000, 110000},
+	{"REC", "Department of Recreation", []string{"Aquatics", "Parks"}, 0.07, 35000, 75000},
+}
+
+// Montgomery simulates the Montgomery County, MD employee-salary dataset the
+// paper demonstrates on (data.montgomerycountymd.gov; 2016 → 2017). The real
+// download is unavailable offline, so we generate a payroll with the same
+// schema — Department, Department Name, Division, Gender, Base Salary,
+// Overtime Pay, Longevity Pay, Grade — and evolve Base Salary under a
+// county-style pay policy with known ground truth:
+//
+//	P1: Grade ≥ 25             → base' = 1.03·base + 1500   (senior COLA)
+//	P2: Grade < 25 ∧ Dept=POL  → base' = 1.045·base + 1000  (police union)
+//	P3: Grade < 25 ∧ Dept=FRS  → base' = 1.04·base + 800    (fire union)
+//	others (general schedule)  → base' = 1.02·base          (flat COLA)
+//
+// Overtime Pay is re-drawn each year (incidental change), Longevity Pay
+// increases by a flat 250 for employees with Grade ≥ 15; both exercise
+// multi-attribute diffs without affecting the Base Salary experiment.
+func Montgomery(seed int64, n int) (*PlantedData, error) {
+	if n <= 0 {
+		n = 9000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	schema := table.Schema{
+		{Name: "employee_id", Type: table.Int},
+		{Name: "department", Type: table.String},
+		{Name: "department_name", Type: table.String},
+		{Name: "division", Type: table.String},
+		{Name: "gender", Type: table.String},
+		{Name: "base_salary", Type: table.Float},
+		{Name: "overtime_pay", Type: table.Float},
+		{Name: "longevity_pay", Type: table.Float},
+		{Name: "grade", Type: table.Int},
+	}
+	src, err := table.New(schema)
+	if err != nil {
+		return nil, err
+	}
+	tgt, err := table.New(schema)
+	if err != nil {
+		return nil, err
+	}
+
+	truth := &model.Summary{
+		Target: "base_salary",
+		CTs: []model.CT{
+			{
+				Cond: predicate.Predicate{Atoms: []predicate.Atom{predicate.NumAtom("grade", predicate.Ge, 25)}},
+				Tran: model.Transformation{Target: "base_salary", Inputs: []string{"base_salary"}, Coef: []float64{1.03}, Intercept: 1500},
+			},
+			{
+				Cond: predicate.Predicate{Atoms: []predicate.Atom{
+					predicate.NumAtom("grade", predicate.Lt, 25),
+					predicate.StrAtom("department", predicate.Eq, "POL"),
+				}},
+				Tran: model.Transformation{Target: "base_salary", Inputs: []string{"base_salary"}, Coef: []float64{1.045}, Intercept: 1000},
+			},
+			{
+				Cond: predicate.Predicate{Atoms: []predicate.Atom{
+					predicate.NumAtom("grade", predicate.Lt, 25),
+					predicate.StrAtom("department", predicate.Eq, "FRS"),
+				}},
+				Tran: model.Transformation{Target: "base_salary", Inputs: []string{"base_salary"}, Coef: []float64{1.04}, Intercept: 800},
+			},
+			{
+				Cond: predicate.True(),
+				Tran: model.Transformation{Target: "base_salary", Inputs: []string{"base_salary"}, Coef: []float64{1.02}, Intercept: 0},
+			},
+		},
+	}
+
+	genders := []string{"F", "M"}
+	for r := 0; r < n; r++ {
+		d := pickDept(rng)
+		dept := montgomeryDepts[d]
+		division := dept.divisions[rng.Intn(len(dept.divisions))]
+		gender := genders[rng.Intn(2)]
+		grade := int64(5 + rng.Intn(31)) // grades 5–35
+		// Base salary correlates with grade inside the department band.
+		frac := float64(grade-5) / 30
+		base := dept.baseLo + frac*(dept.baseHi-dept.baseLo) + rng.NormFloat64()*2500
+		base = math.Round(base*100) / 100
+		overtime := 0.0
+		if dept.code == "POL" || dept.code == "FRS" || dept.code == "DOT" {
+			overtime = math.Round(rng.Float64()*15000*100) / 100
+		}
+		longevity := 0.0
+		if grade >= 15 {
+			longevity = float64(grade-14) * 100
+		}
+
+		src.MustAppendRow(
+			table.I(int64(r+1)), table.S(dept.code), table.S(dept.name), table.S(division),
+			table.S(gender), table.F(base), table.F(overtime), table.F(longevity), table.I(grade),
+		)
+
+		// Evolve base salary under the policy (first matching rule).
+		newBase := base
+		switch {
+		case grade >= 25:
+			newBase = 1.03*base + 1500
+		case dept.code == "POL":
+			newBase = 1.045*base + 1000
+		case dept.code == "FRS":
+			newBase = 1.04*base + 800
+		default:
+			newBase = 1.02 * base
+		}
+		newOvertime := overtime
+		if overtime > 0 {
+			newOvertime = math.Round(rng.Float64()*15000*100) / 100
+		}
+		newLongevity := longevity
+		if grade >= 15 {
+			newLongevity += 250
+		}
+		tgt.MustAppendRow(
+			table.I(int64(r+1)), table.S(dept.code), table.S(dept.name), table.S(division),
+			table.S(gender), table.F(newBase), table.F(newOvertime), table.F(newLongevity), table.I(grade),
+		)
+	}
+	if err := src.SetKey("employee_id"); err != nil {
+		return nil, err
+	}
+	if err := tgt.SetKey("employee_id"); err != nil {
+		return nil, err
+	}
+	return &PlantedData{
+		Src: src, Tgt: tgt, Truth: truth,
+		Target:    "base_salary",
+		CondAttrs: []string{"department", "grade", "division"},
+		TranAttrs: []string{"base_salary"},
+	}, nil
+}
+
+func pickDept(rng *rand.Rand) int {
+	x := rng.Float64()
+	acc := 0.0
+	for i, d := range montgomeryDepts {
+		acc += d.weight
+		if x < acc {
+			return i
+		}
+	}
+	return len(montgomeryDepts) - 1
+}
+
+// Billionaires simulates the Forbes billionaires list (the paper's
+// "additional dataset [2]"): net worth evolving under sector-conditioned
+// growth with known ground truth:
+//
+//	B1: sector = Tech             → worth' = 1.25·worth
+//	B2: sector = Energy           → worth' = 1.1·worth + 0.5
+//	B3: sector = Finance ∧ age ≥ 70 → worth' = 1.05·worth
+//	others: unchanged
+//
+// Net worth is in billions of dollars.
+func Billionaires(seed int64, n int) (*PlantedData, error) {
+	if n <= 0 {
+		n = 2500
+	}
+	rng := rand.New(rand.NewSource(seed))
+	schema := table.Schema{
+		{Name: "rank", Type: table.Int},
+		{Name: "person", Type: table.String},
+		{Name: "net_worth", Type: table.Float},
+		{Name: "age", Type: table.Int},
+		{Name: "sector", Type: table.String},
+		{Name: "country", Type: table.String},
+	}
+	src, err := table.New(schema)
+	if err != nil {
+		return nil, err
+	}
+	tgt, err := table.New(schema)
+	if err != nil {
+		return nil, err
+	}
+	truth := &model.Summary{
+		Target: "net_worth",
+		CTs: []model.CT{
+			{
+				Cond: predicate.Predicate{Atoms: []predicate.Atom{predicate.StrAtom("sector", predicate.Eq, "Tech")}},
+				Tran: model.Transformation{Target: "net_worth", Inputs: []string{"net_worth"}, Coef: []float64{1.25}, Intercept: 0},
+			},
+			{
+				Cond: predicate.Predicate{Atoms: []predicate.Atom{predicate.StrAtom("sector", predicate.Eq, "Energy")}},
+				Tran: model.Transformation{Target: "net_worth", Inputs: []string{"net_worth"}, Coef: []float64{1.1}, Intercept: 0.5},
+			},
+			{
+				Cond: predicate.Predicate{Atoms: []predicate.Atom{
+					predicate.StrAtom("sector", predicate.Eq, "Finance"),
+					predicate.NumAtom("age", predicate.Ge, 70),
+				}},
+				Tran: model.Transformation{Target: "net_worth", Inputs: []string{"net_worth"}, Coef: []float64{1.05}, Intercept: 0},
+			},
+		},
+	}
+	sectors := []string{"Tech", "Energy", "Finance", "Retail", "Media", "Healthcare"}
+	countries := []string{"USA", "China", "Germany", "India", "France", "Brazil"}
+	for r := 0; r < n; r++ {
+		sector := sectors[rng.Intn(len(sectors))]
+		country := countries[rng.Intn(len(countries))]
+		age := int64(30 + rng.Intn(60))
+		// Pareto-ish wealth: 1–200 billions.
+		worth := math.Round(math.Pow(rng.Float64(), 3)*199*10)/10 + 1
+		src.MustAppendRow(
+			table.I(int64(r+1)), table.S(fmt.Sprintf("person%04d", r+1)),
+			table.F(worth), table.I(age), table.S(sector), table.S(country),
+		)
+		newWorth := worth
+		switch {
+		case sector == "Tech":
+			newWorth = 1.25 * worth
+		case sector == "Energy":
+			newWorth = 1.1*worth + 0.5
+		case sector == "Finance" && age >= 70:
+			newWorth = 1.05 * worth
+		}
+		tgt.MustAppendRow(
+			table.I(int64(r+1)), table.S(fmt.Sprintf("person%04d", r+1)),
+			table.F(newWorth), table.I(age), table.S(sector), table.S(country),
+		)
+	}
+	if err := src.SetKey("person"); err != nil {
+		return nil, err
+	}
+	if err := tgt.SetKey("person"); err != nil {
+		return nil, err
+	}
+	return &PlantedData{
+		Src: src, Tgt: tgt, Truth: truth,
+		Target:    "net_worth",
+		CondAttrs: []string{"sector", "age", "country"},
+		TranAttrs: []string{"net_worth"},
+	}, nil
+}

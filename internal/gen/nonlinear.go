@@ -1,0 +1,89 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"charles/internal/model"
+	"charles/internal/predicate"
+	"charles/internal/table"
+)
+
+// PlantedNonlinear evolves a synthetic table under policies that are linear
+// in *derived* features — the extension sketched in the paper's limitations
+// section ("augmenting the data with nonlinear features"):
+//
+//	N1: seg = alpha → pay' = 8000·ln(pay)            (log policy)
+//	N2: seg = beta  → pay' = pay + 0.000005·pay²     (quadratic kicker)
+//	else: unchanged
+//
+// A linear-only engine cannot fit these exactly; with Options.Nonlinear the
+// feature pool contains ln(pay) and pay² and the policies become exactly
+// recoverable.
+func PlantedNonlinear(seed int64, n int) (*PlantedData, error) {
+	if n <= 0 {
+		n = 1500
+	}
+	rng := rand.New(rand.NewSource(seed))
+	schema := table.Schema{
+		{Name: "id", Type: table.Int},
+		{Name: "seg", Type: table.String},
+		{Name: "pay", Type: table.Float},
+	}
+	src, err := table.New(schema)
+	if err != nil {
+		return nil, err
+	}
+	tgt, err := table.New(schema)
+	if err != nil {
+		return nil, err
+	}
+	truth := &model.Summary{
+		Target: "pay",
+		CTs: []model.CT{
+			{
+				Cond: predicate.Predicate{Atoms: []predicate.Atom{predicate.StrAtom("seg", predicate.Eq, "alpha")}},
+				Tran: model.Transformation{
+					Target:   "pay",
+					Features: []model.Feature{{Form: model.Log, Attr: "pay"}},
+					Coef:     []float64{8000},
+				},
+			},
+			{
+				Cond: predicate.Predicate{Atoms: []predicate.Atom{predicate.StrAtom("seg", predicate.Eq, "beta")}},
+				Tran: model.Transformation{
+					Target:   "pay",
+					Features: []model.Feature{model.Lin("pay"), {Form: model.Square, Attr: "pay"}},
+					Coef:     []float64{1, 0.000005},
+				},
+			},
+		},
+	}
+	segs := []string{"alpha", "beta", "plain"}
+	for r := 0; r < n; r++ {
+		seg := segs[rng.Intn(3)]
+		pay := 30000 + rng.Float64()*90000
+		pay = math.Round(pay*100) / 100
+		src.MustAppendRow(table.I(int64(r+1)), table.S(seg), table.F(pay))
+		newPay := pay
+		switch seg {
+		case "alpha":
+			newPay = 8000 * math.Log(pay)
+		case "beta":
+			newPay = pay + 0.000005*pay*pay
+		}
+		tgt.MustAppendRow(table.I(int64(r+1)), table.S(seg), table.F(newPay))
+	}
+	if err := src.SetKey("id"); err != nil {
+		return nil, err
+	}
+	if err := tgt.SetKey("id"); err != nil {
+		return nil, err
+	}
+	return &PlantedData{
+		Src: src, Tgt: tgt, Truth: truth,
+		Target:    "pay",
+		CondAttrs: []string{"seg"},
+		TranAttrs: []string{"pay"},
+	}, nil
+}

@@ -1,0 +1,249 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"charles/internal/model"
+	"charles/internal/predicate"
+	"charles/internal/table"
+)
+
+// PlantedConfig parameterizes the synthetic evolving-database generator.
+type PlantedConfig struct {
+	N    int   // rows
+	Seed int64 // RNG seed (deterministic output)
+
+	// Rules is the number of planted conditional transformations (1–8).
+	Rules int
+	// RuleDepth is atoms per condition: 1 (categorical only) or 2
+	// (categorical + numeric threshold).
+	RuleDepth int
+	// UnchangedFrac is the approximate fraction of rows no rule covers.
+	UnchangedFrac float64
+	// NoiseStd perturbs evolved targets with Gaussian noise of this standard
+	// deviation, *relative* to the mean change magnitude (0 = exact policy).
+	NoiseStd float64
+	// Distractors adds this many uncorrelated attributes (half categorical,
+	// half numeric) to stress attribute selection.
+	Distractors int
+}
+
+func (c PlantedConfig) withDefaults() PlantedConfig {
+	if c.N <= 0 {
+		c.N = 1000
+	}
+	if c.Rules <= 0 {
+		c.Rules = 3
+	}
+	if c.Rules > 8 {
+		c.Rules = 8
+	}
+	if c.RuleDepth != 2 {
+		c.RuleDepth = 1
+	}
+	if c.UnchangedFrac < 0 {
+		c.UnchangedFrac = 0
+	}
+	if c.UnchangedFrac > 0.95 {
+		c.UnchangedFrac = 0.95
+	}
+	return c
+}
+
+// PlantedData is a generated snapshot pair with its ground truth.
+type PlantedData struct {
+	Src   *table.Table
+	Tgt   *table.Table
+	Truth *model.Summary
+	// Target is the evolved attribute ("pay").
+	Target string
+	// CondAttrs / TranAttrs are the attributes the planted policy actually
+	// uses (useful for configuring the engine in controlled experiments).
+	CondAttrs []string
+	TranAttrs []string
+}
+
+// segment values used by planted rules, in rule order.
+var segmentNames = []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"}
+
+// niceCoefs / niceIntercepts are the "normal" constants policies use.
+var (
+	niceCoefs      = []float64{1.02, 1.03, 1.04, 1.05, 1.06, 1.08, 1.1, 0.95}
+	niceIntercepts = []float64{200, 400, 500, 800, 1000, 1500, 2000, 250}
+	niceThresholds = []float64{3, 5, 10, 4, 6, 8, 2, 7}
+)
+
+// Planted generates a source snapshot and a target snapshot evolved by a
+// known policy of conditional linear transformations over attribute "pay".
+//
+// Schema: id (key), seg (categorical segment driving the rules), tier
+// (numeric 0–12 used by depth-2 rules), region (categorical, weakly
+// correlated), pay (target), plus optional distractors.
+func Planted(cfg PlantedConfig) (*PlantedData, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	schema := table.Schema{
+		{Name: "id", Type: table.Int},
+		{Name: "seg", Type: table.String},
+		{Name: "tier", Type: table.Int},
+		{Name: "region", Type: table.String},
+		{Name: "pay", Type: table.Float},
+	}
+	for d := 0; d < cfg.Distractors; d++ {
+		if d%2 == 0 {
+			schema = append(schema, table.Field{Name: fmt.Sprintf("noisecat%d", d/2), Type: table.String})
+		} else {
+			schema = append(schema, table.Field{Name: fmt.Sprintf("noisenum%d", d/2), Type: table.Float})
+		}
+	}
+	src, err := table.New(schema)
+	if err != nil {
+		return nil, err
+	}
+	tgt, err := table.New(schema)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build the planted rules.
+	truth := &model.Summary{Target: "pay"}
+	condAttrs := []string{"seg"}
+	if cfg.RuleDepth == 2 {
+		condAttrs = append(condAttrs, "tier")
+	}
+	for i := 0; i < cfg.Rules; i++ {
+		cond := predicate.Predicate{Atoms: []predicate.Atom{
+			predicate.StrAtom("seg", predicate.Eq, segmentNames[i]),
+		}}
+		if cfg.RuleDepth == 2 && i%2 == 1 {
+			cond = cond.And(predicate.NumAtom("tier", predicate.Ge, niceThresholds[i]))
+		}
+		truth.CTs = append(truth.CTs, model.CT{
+			Cond: cond,
+			Tran: model.Transformation{
+				Target:    "pay",
+				Inputs:    []string{"pay"},
+				Coef:      []float64{niceCoefs[i]},
+				Intercept: niceIntercepts[i],
+			},
+		})
+	}
+
+	// Segment assignment: rule segments share 1−UnchangedFrac; the
+	// remainder goes to a "plain" segment no rule touches.
+	regions := []string{"north", "south", "east", "west"}
+	meanChange := 0.0
+	type rowRec struct {
+		vals   []table.Value
+		newPay float64
+	}
+	changeMags := make([]float64, 0, cfg.N)
+	rows := make([]rowRec, 0, cfg.N)
+	for r := 0; r < cfg.N; r++ {
+		var seg string
+		if rng.Float64() < cfg.UnchangedFrac {
+			seg = "plain"
+		} else {
+			seg = segmentNames[rng.Intn(cfg.Rules)]
+		}
+		tier := int64(rng.Intn(13))
+		region := regions[rng.Intn(len(regions))]
+		// Pay correlates with tier (so the assistant can find signal) plus
+		// a segment-level offset and noise.
+		segOff := float64(indexOf(segmentNames, seg)+1) * 2000
+		pay := 40000 + 3000*float64(tier) + segOff + rng.NormFloat64()*5000
+		pay = math.Round(pay*100) / 100
+
+		vals := []table.Value{
+			table.I(int64(r + 1)), table.S(seg), table.I(tier), table.S(region), table.F(pay),
+		}
+		for d := 0; d < cfg.Distractors; d++ {
+			if d%2 == 0 {
+				vals = append(vals, table.S(fmt.Sprintf("v%d", rng.Intn(5))))
+			} else {
+				vals = append(vals, table.F(math.Round(rng.Float64()*1000)))
+			}
+		}
+
+		// Evolve pay under the first matching rule.
+		newPay := pay
+		for _, ct := range truth.CTs {
+			if matchPlanted(ct.Cond, seg, float64(tier)) {
+				newPay = ct.Tran.Coef[0]*pay + ct.Tran.Intercept
+				changeMags = append(changeMags, math.Abs(newPay-pay))
+				break
+			}
+		}
+		rows = append(rows, rowRec{vals: vals, newPay: newPay})
+	}
+	for _, m := range changeMags {
+		meanChange += m
+	}
+	if len(changeMags) > 0 {
+		meanChange /= float64(len(changeMags))
+	}
+
+	for _, rec := range rows {
+		if err := src.AppendRow(rec.vals...); err != nil {
+			return nil, err
+		}
+		tv := append([]table.Value(nil), rec.vals...)
+		newPay := rec.newPay
+		if cfg.NoiseStd > 0 && newPay != rec.vals[4].Float() {
+			newPay += rng.NormFloat64() * cfg.NoiseStd * meanChange
+		}
+		tv[4] = table.F(newPay)
+		if err := tgt.AppendRow(tv...); err != nil {
+			return nil, err
+		}
+	}
+	if err := src.SetKey("id"); err != nil {
+		return nil, err
+	}
+	if err := tgt.SetKey("id"); err != nil {
+		return nil, err
+	}
+	return &PlantedData{
+		Src: src, Tgt: tgt, Truth: truth,
+		Target:    "pay",
+		CondAttrs: condAttrs,
+		TranAttrs: []string{"pay"},
+	}, nil
+}
+
+// matchPlanted evaluates a planted condition directly on the generated
+// (seg, tier) pair — cheaper than building a table row first.
+func matchPlanted(p predicate.Predicate, seg string, tier float64) bool {
+	for _, a := range p.Atoms {
+		switch a.Attr {
+		case "seg":
+			if a.Op == predicate.Eq && seg != a.Str {
+				return false
+			}
+		case "tier":
+			switch a.Op {
+			case predicate.Ge:
+				if !(tier >= a.Num) {
+					return false
+				}
+			case predicate.Lt:
+				if !(tier < a.Num) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func indexOf(xs []string, x string) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,105 @@
+// Package gen builds the datasets ChARLES is evaluated on: the paper's toy
+// employee snapshots (Figure 1), a planted-policy generator that evolves a
+// random table under known conditional transformations (so recovery can be
+// measured against ground truth), and simulations of the two real-world
+// datasets the demo uses — Montgomery County employee salaries and the
+// Forbes billionaires list — which are external downloads we substitute with
+// structurally faithful synthetic equivalents (see DESIGN.md).
+package gen
+
+import (
+	"charles/internal/model"
+	"charles/internal/predicate"
+	"charles/internal/table"
+)
+
+// toySchema is the employee schema of Figure 1.
+func toySchema() table.Schema {
+	return table.Schema{
+		{Name: "name", Type: table.String},
+		{Name: "gen", Type: table.String},
+		{Name: "edu", Type: table.String},
+		{Name: "exp", Type: table.Int},
+		{Name: "salary", Type: table.Float},
+		{Name: "bonus", Type: table.Float},
+	}
+}
+
+// Toy returns the exact 2016 and 2017 snapshots of the paper's Figure 1.
+// The 2017 bonus follows the planted policy R1–R3 of Example 1:
+//
+//	R1: edu = PhD             → bonus' = 1.05·bonus + 1000
+//	R2: edu = MS ∧ exp ≥ 3    → bonus' = 1.04·bonus + 800
+//	R3: edu = MS ∧ exp < 3    → bonus' = 1.03·bonus + 400
+//	(BS employees: unchanged)
+//
+// exp is incremented by one year in the target snapshot; salary is flat.
+// The primary key is "name".
+func Toy() (src, tgt *table.Table) {
+	src = table.MustNew(toySchema())
+	tgt = table.MustNew(toySchema())
+
+	// name, gen, edu, exp2016, salary, bonus2016, bonus2017
+	rows := []struct {
+		name, gen, edu string
+		exp            int64
+		salary         float64
+		bonus2016      float64
+		bonus2017      float64
+	}{
+		{"Anne", "F", "PhD", 2, 230000, 23000, 25150},
+		{"Bob", "M", "PhD", 3, 250000, 25000, 27250},
+		{"Amber", "F", "MS", 5, 160000, 16000, 17440},
+		{"Allen", "M", "MS", 1, 130000, 13000, 13790},
+		{"Cathy", "F", "BS", 2, 110000, 11000, 11000},
+		{"Tom", "M", "MS", 4, 150000, 15000, 16400},
+		{"James", "M", "BS", 3, 120000, 12000, 12000},
+		{"Lucy", "F", "MS", 4, 150000, 15000, 16400},
+		{"Frank", "M", "PhD", 1, 210000, 21000, 23050},
+	}
+	for _, r := range rows {
+		src.MustAppendRow(
+			table.S(r.name), table.S(r.gen), table.S(r.edu),
+			table.I(r.exp), table.F(r.salary), table.F(r.bonus2016),
+		)
+		tgt.MustAppendRow(
+			table.S(r.name), table.S(r.gen), table.S(r.edu),
+			table.I(r.exp+1), table.F(r.salary), table.F(r.bonus2017),
+		)
+	}
+	if err := src.SetKey("name"); err != nil {
+		panic(err)
+	}
+	if err := tgt.SetKey("name"); err != nil {
+		panic(err)
+	}
+	return src, tgt
+}
+
+// ToyTruth returns the ground-truth summary (R1–R3) behind the Toy target
+// snapshot, for evaluation.
+func ToyTruth() *model.Summary {
+	return &model.Summary{
+		Target: "bonus",
+		CTs: []model.CT{
+			{
+				Cond: predicate.Predicate{Atoms: []predicate.Atom{predicate.StrAtom("edu", predicate.Eq, "PhD")}},
+				Tran: model.Transformation{Target: "bonus", Inputs: []string{"bonus"}, Coef: []float64{1.05}, Intercept: 1000},
+			},
+			{
+				Cond: predicate.Predicate{Atoms: []predicate.Atom{
+					predicate.StrAtom("edu", predicate.Eq, "MS"),
+					predicate.NumAtom("exp", predicate.Ge, 3),
+				}},
+				Tran: model.Transformation{Target: "bonus", Inputs: []string{"bonus"}, Coef: []float64{1.04}, Intercept: 800},
+			},
+			{
+				Cond: predicate.Predicate{Atoms: []predicate.Atom{
+					predicate.StrAtom("edu", predicate.Eq, "MS"),
+					predicate.NumAtom("exp", predicate.Lt, 3),
+				}},
+				Tran: model.Transformation{Target: "bonus", Inputs: []string{"bonus"}, Coef: []float64{1.03}, Intercept: 400},
+			},
+		},
+	}
+}

@@ -1,0 +1,154 @@
+// Package history extends ChARLES from a snapshot *pair* to a snapshot
+// *sequence*: given versions D₁ … Dₙ of an evolving table, it summarizes
+// each consecutive step and reports how the recovered policy drifts over
+// time — the "temporal changes" framing of the paper applied across a whole
+// version history (cf. Bleifuß et al., "Exploring Change", PVLDB 2018,
+// which the related-work section positions ChARLES against).
+package history
+
+import (
+	"fmt"
+	"strings"
+
+	"charles/internal/core"
+	"charles/internal/model"
+	"charles/internal/table"
+)
+
+// Step is the summarization of one consecutive snapshot pair.
+type Step struct {
+	// From and To index the snapshot sequence (step i: snapshots[i] →
+	// snapshots[i+1]).
+	From, To int
+	// Ranked holds the step's summaries (empty only on no-change steps,
+	// which instead set NoChange).
+	Ranked []core.Ranked
+	// NoChange marks steps where the target attribute did not move.
+	NoChange bool
+}
+
+// Top returns the step's best summary (nil for no-change steps).
+func (s Step) Top() *model.Summary {
+	if len(s.Ranked) == 0 {
+		return nil
+	}
+	return s.Ranked[0].Summary
+}
+
+// Timeline is the summarized evolution of one target attribute across a
+// snapshot sequence.
+type Timeline struct {
+	Target string
+	Steps  []Step
+}
+
+// Summarize runs the engine over every consecutive pair of snapshots. All
+// snapshots must share the schema and entity set of the first; opts.Target
+// selects the attribute. Steps where the target did not change are marked
+// rather than summarized.
+func Summarize(snapshots []*table.Table, opts core.Options) (*Timeline, error) {
+	if len(snapshots) < 2 {
+		return nil, fmt.Errorf("history: need at least 2 snapshots, got %d", len(snapshots))
+	}
+	tl := &Timeline{Target: opts.Target}
+	for i := 0; i+1 < len(snapshots); i++ {
+		ranked, err := core.Summarize(snapshots[i], snapshots[i+1], opts)
+		if err != nil {
+			return nil, fmt.Errorf("history: step %d→%d: %w", i, i+1, err)
+		}
+		step := Step{From: i, To: i + 1, Ranked: ranked}
+		if len(ranked) == 1 && ranked[0].Summary.Size() == 0 {
+			step.NoChange = true
+		}
+		tl.Steps = append(tl.Steps, step)
+	}
+	return tl, nil
+}
+
+// Drift describes how a policy changed between two consecutive steps.
+type Drift struct {
+	StepA, StepB int
+	// SamePartitioning reports whether both steps' top summaries induce the
+	// same partition structure (condition fingerprints match pairwise).
+	SamePartitioning bool
+	// Note summarizes the relationship in one line.
+	Note string
+}
+
+// Drifts compares the top summary of each step against the next step's:
+// stable policies (same conditions, same constants) read as "policy held",
+// same conditions with new constants read as "rates changed", and different
+// conditions read as "policy restructured".
+func (tl *Timeline) Drifts() []Drift {
+	var out []Drift
+	for i := 0; i+1 < len(tl.Steps); i++ {
+		a, b := tl.Steps[i], tl.Steps[i+1]
+		d := Drift{StepA: i, StepB: i + 1}
+		switch {
+		case a.NoChange && b.NoChange:
+			d.SamePartitioning = true
+			d.Note = "no change in either step"
+		case a.NoChange != b.NoChange:
+			d.Note = "change activity toggled"
+		default:
+			sa, sb := a.Top(), b.Top()
+			d.SamePartitioning = samePartitioning(sa, sb)
+			switch {
+			case sa.Fingerprint() == sb.Fingerprint():
+				d.Note = "policy held exactly"
+			case d.SamePartitioning:
+				d.Note = "same partitions, constants changed"
+			default:
+				d.Note = "policy restructured"
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// samePartitioning compares condition fingerprints pairwise (order-free).
+func samePartitioning(a, b *model.Summary) bool {
+	if a.Size() != b.Size() {
+		return false
+	}
+	seen := map[string]int{}
+	for _, ct := range a.CTs {
+		seen[ct.Cond.Fingerprint()]++
+	}
+	for _, ct := range b.CTs {
+		seen[ct.Cond.Fingerprint()]--
+	}
+	for _, v := range seen {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Render prints the timeline: one block per step with its top summary.
+func (tl *Timeline) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "evolution of %s across %d steps\n", tl.Target, len(tl.Steps))
+	for _, s := range tl.Steps {
+		fmt.Fprintf(&b, "\nstep %d → %d:\n", s.From, s.To)
+		if s.NoChange {
+			b.WriteString("  (no change)\n")
+			continue
+		}
+		top := s.Ranked[0]
+		fmt.Fprintf(&b, "  score %.1f%%\n", top.Breakdown.Score*100)
+		for _, ct := range top.Summary.CTs {
+			fmt.Fprintf(&b, "  %s\n", ct)
+		}
+	}
+	drifts := tl.Drifts()
+	if len(drifts) > 0 {
+		b.WriteString("\ndrift:\n")
+		for _, d := range drifts {
+			fmt.Fprintf(&b, "  step %d→%d vs %d→%d: %s\n", d.StepA, d.StepA+1, d.StepB, d.StepB+1, d.Note)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package history
+
+import (
+	"strings"
+	"testing"
+
+	"charles/internal/core"
+	"charles/internal/gen"
+	"charles/internal/table"
+)
+
+// threeSnapshots builds D1→D2→D3: step 1 applies the toy policy (R1–R3),
+// step 2 leaves everything unchanged.
+func threeSnapshots(t *testing.T) []*table.Table {
+	t.Helper()
+	d1, d2 := gen.Toy()
+	d3 := d2.Clone()
+	return []*table.Table{d1, d2, d3}
+}
+
+func TestTimelineSummarizesEachStep(t *testing.T) {
+	snaps := threeSnapshots(t)
+	tl, err := Summarize(snaps, core.DefaultOptions("bonus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Steps) != 2 {
+		t.Fatalf("steps = %d", len(tl.Steps))
+	}
+	if tl.Steps[0].NoChange {
+		t.Error("step 0 should carry the policy change")
+	}
+	if top := tl.Steps[0].Top(); top == nil || top.Size() != 3 {
+		t.Errorf("step 0 top summary = %v", tl.Steps[0].Top())
+	}
+	if !tl.Steps[1].NoChange {
+		t.Error("step 1 should be a no-change step")
+	}
+	if tl.Steps[1].Top() != nil && tl.Steps[1].Top().Size() != 0 {
+		t.Error("no-change step should have an empty top summary")
+	}
+}
+
+func TestTimelineValidation(t *testing.T) {
+	d1, _ := gen.Toy()
+	if _, err := Summarize([]*table.Table{d1}, core.DefaultOptions("bonus")); err == nil {
+		t.Error("single snapshot accepted")
+	}
+	other := table.MustNew(table.Schema{{Name: "x", Type: table.Int}})
+	if _, err := Summarize([]*table.Table{d1, other}, core.DefaultOptions("bonus")); err == nil {
+		t.Error("schema drift accepted")
+	}
+}
+
+func TestDriftDetection(t *testing.T) {
+	// D1→D2 applies the policy, D2→D3 applies nothing: activity toggles.
+	snaps := threeSnapshots(t)
+	tl, err := Summarize(snaps, core.DefaultOptions("bonus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifts := tl.Drifts()
+	if len(drifts) != 1 {
+		t.Fatalf("drifts = %d", len(drifts))
+	}
+	if drifts[0].Note != "change activity toggled" {
+		t.Errorf("drift note = %q", drifts[0].Note)
+	}
+}
+
+func TestDriftPolicyHeld(t *testing.T) {
+	// Apply the same planted policy twice: D1→D2 and D2→D3 should match.
+	d, err := gen.Planted(gen.PlantedConfig{N: 500, Seed: 8, Rules: 2, UnchangedFrac: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// D3: re-apply the truth policy to D2.
+	d3 := d.Tgt.Clone()
+	preds, _, err := d.Truth.Apply(d.Tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := d3.MustColumn("pay")
+	for r := 0; r < d3.NumRows(); r++ {
+		if err := col.Set(r, table.F(preds[r])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opts := core.DefaultOptions("pay")
+	opts.CondAttrs = d.CondAttrs
+	opts.TranAttrs = d.TranAttrs
+	tl, err := Summarize([]*table.Table{d.Src, d.Tgt, d3}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifts := tl.Drifts()
+	if len(drifts) != 1 {
+		t.Fatalf("drifts = %d", len(drifts))
+	}
+	if !drifts[0].SamePartitioning {
+		t.Errorf("partitioning should be stable across identical policy steps: %+v", drifts[0])
+	}
+}
+
+func TestRender(t *testing.T) {
+	snaps := threeSnapshots(t)
+	tl, err := Summarize(snaps, core.DefaultOptions("bonus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tl.Render()
+	for _, want := range []string{"evolution of bonus", "step 0 → 1", "step 1 → 2", "(no change)", "drift:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 5 || m.At(0, 1) != 0 {
+		t.Error("At/Set broken")
+	}
+	cp := m.Clone()
+	cp.Set(0, 0, 9)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone not deep")
+	}
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(2, 1) != 5 {
+		t.Error("Transpose broken")
+	}
+	row := m.Row(1)
+	if len(row) != 3 || row[2] != 5 {
+		t.Error("Row broken")
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil || m.At(1, 0) != 3 {
+		t.Fatalf("FromRows: %v", err)
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	empty, err := FromRows(nil)
+	if err != nil || empty.Rows != 0 {
+		t.Error("empty FromRows broken")
+	}
+}
+
+func TestMulVecAndMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	y, err := a.MulVec([]float64{1, 1})
+	if err != nil || y[0] != 3 || y[1] != 7 {
+		t.Fatalf("MulVec = %v, %v", y, err)
+	}
+	if _, err := a.MulVec([]float64{1}); err == nil {
+		t.Error("bad vector length accepted")
+	}
+	b, _ := FromRows([][]float64{{0, 1}, {1, 0}})
+	c, err := a.Mul(b)
+	if err != nil || c.At(0, 0) != 2 || c.At(0, 1) != 1 {
+		t.Fatalf("Mul = %v, %v", c, err)
+	}
+	if _, err := a.Mul(NewMatrix(3, 3)); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestSolveLinearKnownSystem(t *testing.T) {
+	// 2x + y = 5; x - y = 1  →  x = 2, y = 1
+	a, _ := FromRows([][]float64{{2, 1}, {1, -1}})
+	x, err := SolveLinear(a, []float64{5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 2, 1e-12) || !almostEq(x[1], 1, 1e-12) {
+		t.Errorf("solution = %v, want [2 1]", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveLinear(a, []float64{1, 2}); err == nil {
+		t.Error("singular system accepted")
+	}
+	if _, err := SolveLinear(NewMatrix(2, 3), []float64{1, 2}); err == nil {
+		t.Error("non-square accepted")
+	}
+	if _, err := SolveLinear(NewMatrix(2, 2), []float64{1}); err == nil {
+		t.Error("bad b length accepted")
+	}
+}
+
+func TestSolveLinearRandomDiagonallyDominant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(6)
+		a := NewMatrix(n, n)
+		xTrue := make([]float64, n)
+		for i := 0; i < n; i++ {
+			xTrue[i] = rng.NormFloat64()
+			rowSum := 0.0
+			for j := 0; j < n; j++ {
+				if i != j {
+					v := rng.NormFloat64()
+					a.Set(i, j, v)
+					rowSum += math.Abs(v)
+				}
+			}
+			a.Set(i, i, rowSum+1+rng.Float64())
+		}
+		b, _ := a.MulVec(xTrue)
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range x {
+			if !almostEq(x[i], xTrue[i], 1e-8) {
+				t.Fatalf("trial %d: x[%d]=%v want %v", trial, i, x[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestQRExactSolve(t *testing.T) {
+	// Square full-rank: least squares = exact solve.
+	a, _ := FromRows([][]float64{{2, 1}, {1, -1}})
+	x, err := SolveLS(a, []float64{5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 2, 1e-10) || !almostEq(x[1], 1, 1e-10) {
+		t.Errorf("QR solve = %v", x)
+	}
+}
+
+func TestQROverdeterminedRecovery(t *testing.T) {
+	// y = 3x + 2 sampled without noise: LS must recover exactly.
+	var rows [][]float64
+	var b []float64
+	for i := 0; i < 10; i++ {
+		x := float64(i)
+		rows = append(rows, []float64{x, 1})
+		b = append(b, 3*x+2)
+	}
+	a, _ := FromRows(rows)
+	x, err := SolveLS(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 3, 1e-10) || !almostEq(x[1], 2, 1e-10) {
+		t.Errorf("LS = %v, want [3 2]", x)
+	}
+}
+
+func TestQRLeastSquaresOptimality(t *testing.T) {
+	// The QR solution must beat random perturbations in ‖Ax−b‖₂.
+	rng := rand.New(rand.NewSource(11))
+	a := NewMatrix(20, 3)
+	b := make([]float64, 20)
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 3; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+		b[i] = rng.NormFloat64()
+	}
+	x, err := SolveLS(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := residNorm(a, x, b)
+	for trial := 0; trial < 100; trial++ {
+		xp := append([]float64(nil), x...)
+		for j := range xp {
+			xp[j] += rng.NormFloat64() * 0.1
+		}
+		if residNorm(a, xp, b) < base-1e-9 {
+			t.Fatalf("perturbed solution beats QR: %v < %v", residNorm(a, xp, b), base)
+		}
+	}
+}
+
+func residNorm(a *Matrix, x, b []float64) float64 {
+	ax, _ := a.MulVec(x)
+	r := make([]float64, len(b))
+	for i := range b {
+		r[i] = ax[i] - b[i]
+	}
+	return Norm2(r)
+}
+
+func TestQRRankDeficiencyDetected(t *testing.T) {
+	// Column 2 = 2 × column 1.
+	a, _ := FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	if _, err := SolveLS(a, []float64{1, 2, 3}); err == nil {
+		t.Error("rank-deficient LS accepted")
+	}
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.FullRank() {
+		t.Error("FullRank() true for rank-deficient matrix")
+	}
+	if !math.IsInf(f.ConditionEstimate(), 1) && f.ConditionEstimate() < 1e10 {
+		t.Errorf("condition estimate too small: %v", f.ConditionEstimate())
+	}
+}
+
+func TestFactorShapeCheck(t *testing.T) {
+	if _, err := Factor(NewMatrix(2, 3)); err == nil {
+		t.Error("wide matrix accepted by QR")
+	}
+}
+
+func TestSolveRidgeHandlesRankDeficiency(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	x, err := SolveRidge(a, []float64{1, 2, 3}, 1e-6)
+	if err != nil {
+		t.Fatalf("ridge failed: %v", err)
+	}
+	// Prediction should still be close even though coefficients are not unique.
+	ax, _ := a.MulVec(x)
+	for i, want := range []float64{1, 2, 3} {
+		if !almostEq(ax[i], want, 1e-3) {
+			t.Errorf("ridge prediction[%d] = %v, want %v", i, ax[i], want)
+		}
+	}
+	if _, err := SolveRidge(a, []float64{1, 2, 3}, -1); err == nil {
+		t.Error("negative lambda accepted")
+	}
+}
+
+func TestNorms(t *testing.T) {
+	v := []float64{3, -4}
+	if Norm2(v) != 5 {
+		t.Errorf("Norm2 = %v", Norm2(v))
+	}
+	if Norm1(v) != 7 {
+		t.Errorf("Norm1 = %v", Norm1(v))
+	}
+	if NormInf(v) != 4 {
+		t.Errorf("NormInf = %v", NormInf(v))
+	}
+	if Norm2(nil) != 0 {
+		t.Error("empty Norm2 should be 0")
+	}
+	// Overflow-resistant norm.
+	big := []float64{1e300, 1e300}
+	if math.IsInf(Norm2(big), 1) {
+		t.Error("Norm2 overflowed")
+	}
+}
+
+func TestDotProperty(t *testing.T) {
+	f := func(a, b [4]float64) bool {
+		x, y := a[:], b[:]
+		// Bound magnitudes so the products stay finite: commutativity of a
+		// sum of non-finite terms is not a meaningful property to check.
+		for i := range x {
+			x[i] = math.Mod(x[i], 1e6)
+			y[i] = math.Mod(y[i], 1e6)
+			if math.IsNaN(x[i]) || math.IsNaN(y[i]) {
+				return true
+			}
+		}
+		return almostEq(Dot(x, y), Dot(y, x), 1e-6*(1+math.Abs(Dot(x, y))))
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQRSolveBadLength(t *testing.T) {
+	a, _ := FromRows([][]float64{{1}, {2}})
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]float64{1}); err == nil {
+		t.Error("bad b length accepted by QR.Solve")
+	}
+}

@@ -1,0 +1,122 @@
+// Package lmtree represents a change summary as a linear model tree
+// (Potts, ICML 2004): internal nodes test conditions, leaves hold linear
+// models (transformations). The path from root to leaf defines a partition.
+// This reproduces the paper's Figure 2 rendering.
+package lmtree
+
+import (
+	"fmt"
+	"strings"
+
+	"charles/internal/model"
+	"charles/internal/predicate"
+)
+
+// Node is one node of a linear model tree. Internal nodes carry a condition
+// with YES/NO children; leaves carry a transformation (or None).
+type Node struct {
+	// Internal node:
+	Cond predicate.Predicate
+	Yes  *Node
+	No   *Node
+
+	// Leaf:
+	Leaf bool
+	Tran model.Transformation
+	None bool // the "no transformation observed" leaf
+}
+
+// FromSummary builds a right-leaning decision-list tree from a summary:
+// each CT becomes (condition → transformation-leaf) with the NO branch
+// chaining to the next CT, and the final NO branch a None leaf — exactly
+// the shape of the paper's Figure 2.
+func FromSummary(s *model.Summary) *Node {
+	none := &Node{Leaf: true, None: true}
+	if len(s.CTs) == 0 {
+		return none
+	}
+	root := none
+	for i := len(s.CTs) - 1; i >= 0; i-- {
+		ct := s.CTs[i]
+		var leaf *Node
+		if ct.Tran.NoChange {
+			leaf = &Node{Leaf: true, None: true}
+		} else {
+			leaf = &Node{Leaf: true, Tran: ct.Tran}
+		}
+		root = &Node{Cond: ct.Cond, Yes: leaf, No: root}
+	}
+	return root
+}
+
+// Depth returns the longest condition chain (0 for a lone leaf).
+func (n *Node) Depth() int {
+	if n == nil || n.Leaf {
+		return 0
+	}
+	dy, dn := n.Yes.Depth(), n.No.Depth()
+	if dy > dn {
+		return dy + 1
+	}
+	return dn + 1
+}
+
+// Leaves counts the leaves of the tree.
+func (n *Node) Leaves() int {
+	if n == nil {
+		return 0
+	}
+	if n.Leaf {
+		return 1
+	}
+	return n.Yes.Leaves() + n.No.Leaves()
+}
+
+// Render draws the tree as indented ASCII, e.g.
+//
+//	edu = PhD
+//	├─ YES → new_bonus = 1.05×bonus + 1000
+//	└─ NO
+//	   edu = MS ∧ exp < 3
+//	   ├─ YES → new_bonus = 1.03×bonus + 400
+//	   └─ NO
+//	      ...
+func (n *Node) Render() string {
+	var b strings.Builder
+	n.render(&b, "")
+	return b.String()
+}
+
+func (n *Node) render(b *strings.Builder, indent string) {
+	if n.Leaf {
+		if n.None {
+			fmt.Fprintf(b, "%s(no change)\n", indent)
+		} else {
+			fmt.Fprintf(b, "%s%s\n", indent, n.Tran)
+		}
+		return
+	}
+	fmt.Fprintf(b, "%s%s\n", indent, n.Cond)
+	// YES branch.
+	if n.Yes.Leaf {
+		if n.Yes.None {
+			fmt.Fprintf(b, "%s├─ YES → (no change)\n", indent)
+		} else {
+			fmt.Fprintf(b, "%s├─ YES → %s\n", indent, n.Yes.Tran)
+		}
+	} else {
+		fmt.Fprintf(b, "%s├─ YES\n", indent)
+		n.Yes.render(b, indent+"│  ")
+	}
+	// NO branch.
+	if n.No.Leaf {
+		if n.No.None {
+			fmt.Fprintf(b, "%s└─ NO  → (no change)\n", indent)
+		} else {
+			fmt.Fprintf(b, "%s└─ NO  → %s\n", indent, n.No.Tran)
+		}
+	} else {
+		fmt.Fprintf(b, "%s└─ NO\n", indent)
+		n.No.render(b, indent+"   ")
+	}
+}

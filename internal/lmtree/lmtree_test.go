@@ -1,0 +1,152 @@
+package lmtree
+
+import (
+	"strings"
+	"testing"
+
+	"charles/internal/model"
+	"charles/internal/predicate"
+)
+
+func threeCTSummary() *model.Summary {
+	return &model.Summary{
+		Target: "bonus",
+		CTs: []model.CT{
+			{
+				Cond: predicate.Predicate{Atoms: []predicate.Atom{predicate.StrAtom("edu", predicate.Eq, "PhD")}},
+				Tran: model.Transformation{Target: "bonus", Inputs: []string{"bonus"}, Coef: []float64{1.05}, Intercept: 1000},
+			},
+			{
+				Cond: predicate.Predicate{Atoms: []predicate.Atom{
+					predicate.StrAtom("edu", predicate.Eq, "MS"), predicate.NumAtom("exp", predicate.Lt, 3),
+				}},
+				Tran: model.Transformation{Target: "bonus", Inputs: []string{"bonus"}, Coef: []float64{1.03}, Intercept: 400},
+			},
+			{
+				Cond: predicate.Predicate{Atoms: []predicate.Atom{
+					predicate.StrAtom("edu", predicate.Eq, "MS"), predicate.NumAtom("exp", predicate.Ge, 3),
+				}},
+				Tran: model.Transformation{Target: "bonus", Inputs: []string{"bonus"}, Coef: []float64{1.04}, Intercept: 800},
+			},
+		},
+	}
+}
+
+func TestFromSummaryShape(t *testing.T) {
+	root := FromSummary(threeCTSummary())
+	// Decision list: depth = number of CTs; leaves = CTs + None.
+	if d := root.Depth(); d != 3 {
+		t.Errorf("depth = %d, want 3", d)
+	}
+	if l := root.Leaves(); l != 4 {
+		t.Errorf("leaves = %d, want 4", l)
+	}
+	// First condition at the root, first transformation on its YES branch.
+	if root.Leaf || !root.Yes.Leaf {
+		t.Fatal("root shape wrong")
+	}
+	if root.Yes.Tran.Intercept != 1000 {
+		t.Errorf("YES leaf transformation = %v", root.Yes.Tran)
+	}
+	// Final NO chain ends at the None leaf.
+	n := root
+	for !n.Leaf {
+		n = n.No
+	}
+	if !n.None {
+		t.Error("tree should terminate in a None leaf")
+	}
+}
+
+func TestEmptySummaryTree(t *testing.T) {
+	root := FromSummary(&model.Summary{Target: "bonus"})
+	if !root.Leaf || !root.None {
+		t.Error("empty summary should be a single None leaf")
+	}
+	if root.Depth() != 0 || root.Leaves() != 1 {
+		t.Error("empty tree dimensions wrong")
+	}
+}
+
+func TestNoChangeCTBecomesNoneLeaf(t *testing.T) {
+	s := &model.Summary{
+		Target: "bonus",
+		CTs: []model.CT{{
+			Cond: predicate.Predicate{Atoms: []predicate.Atom{predicate.StrAtom("edu", predicate.Eq, "BS")}},
+			Tran: model.Identity("bonus"),
+		}},
+	}
+	root := FromSummary(s)
+	if !root.Yes.Leaf || !root.Yes.None {
+		t.Error("identity CT should render as a None leaf")
+	}
+}
+
+func TestRenderContainsFigure2Elements(t *testing.T) {
+	out := FromSummary(threeCTSummary()).Render()
+	for _, want := range []string{
+		"edu = PhD",
+		"new_bonus = 1.05×bonus + 1000",
+		"edu = MS ∧ exp < 3",
+		"new_bonus = 1.03×bonus + 400",
+		"new_bonus = 1.04×bonus + 800",
+		"YES", "NO", "(no change)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// YES comes before NO in each block.
+	if strings.Index(out, "YES") > strings.Index(out, "NO") {
+		t.Error("YES branch should render before NO")
+	}
+}
+
+func TestRenderIndentationNesting(t *testing.T) {
+	out := FromSummary(threeCTSummary()).Render()
+	lines := strings.Split(out, "\n")
+	// The second condition must be indented deeper than the first.
+	var firstIndent, secondIndent = -1, -1
+	for _, l := range lines {
+		if strings.Contains(l, "edu = PhD") {
+			firstIndent = len(l) - len(strings.TrimLeft(l, " │"))
+		}
+		if strings.Contains(l, "exp < 3") {
+			secondIndent = len(l) - len(strings.TrimLeft(l, " │"))
+		}
+	}
+	if firstIndent < 0 || secondIndent <= firstIndent {
+		t.Errorf("nesting indentation wrong: %d vs %d\n%s", firstIndent, secondIndent, out)
+	}
+}
+
+func TestRenderDeepNesting(t *testing.T) {
+	// A 3-CT list followed by nested render must show every branch form:
+	// leaf YES, non-leaf NO, and the terminal None — plus a None mid-list
+	// when a no-change CT appears between change CTs.
+	s := threeCTSummary()
+	s.CTs = append(s.CTs, model.CT{
+		Cond: predicate.Predicate{Atoms: []predicate.Atom{predicate.StrAtom("edu", predicate.Eq, "BS")}},
+		Tran: model.Identity("bonus"),
+	})
+	out := FromSummary(s).Render()
+	if strings.Count(out, "(no change)") < 2 {
+		t.Errorf("expected both the identity CT and terminal None leaves:\n%s", out)
+	}
+	if strings.Count(out, "├─ YES") != 4 {
+		t.Errorf("expected 4 YES branches:\n%s", out)
+	}
+}
+
+func TestRenderLoneLeaf(t *testing.T) {
+	// Render on a leaf-only tree (no conditions at all).
+	n := &Node{Leaf: true, Tran: model.Transformation{Target: "x", Inputs: []string{"x"}, Coef: []float64{2}}}
+	out := n.Render()
+	if !strings.Contains(out, "new_x = 2×x") {
+		t.Errorf("lone leaf render:\n%s", out)
+	}
+	none := &Node{Leaf: true, None: true}
+	if !strings.Contains(none.Render(), "(no change)") {
+		t.Error("lone None leaf render")
+	}
+}

@@ -1,0 +1,144 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+
+	"charles/internal/predicate"
+)
+
+// SQL renders the summary as a sequence of SQL UPDATE statements that would
+// replay the recovered evolution against the source snapshot, e.g.
+//
+//	UPDATE employees SET bonus = 1.05 * bonus + 1000 WHERE edu = 'PhD';
+//
+// Partitions are emitted in CT order; since the engine's partitions are
+// disjoint the statements commute, but the order is kept for first-match
+// faithfulness. Identity CTs emit a comment instead of a no-op UPDATE.
+// The dialect is deliberately vanilla (ANSI, single quotes, standard
+// operators) so the output runs on PostgreSQL, SQLite, MySQL, and DuckDB.
+func (s *Summary) SQL(tableName string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- ChARLES change summary for %s.%s (%d conditional transformations)\n",
+		tableName, s.Target, len(s.CTs))
+	for i, ct := range s.CTs {
+		if ct.Tran.NoChange {
+			fmt.Fprintf(&b, "-- CT%d: %s → no change\n", i+1, sqlCond(ct.Cond))
+			continue
+		}
+		fmt.Fprintf(&b, "UPDATE %s SET %s = %s", tableName, quoteIdent(s.Target), sqlExpr(ct.Tran))
+		if !ct.Cond.IsTrue() {
+			fmt.Fprintf(&b, " WHERE %s", sqlCond(ct.Cond))
+		}
+		b.WriteString(";\n")
+	}
+	return b.String()
+}
+
+// sqlExpr renders the transformation's right-hand side.
+func sqlExpr(tr Transformation) string {
+	var terms []string
+	for i, f := range tr.features() {
+		c := tr.Coef[i]
+		if c == 0 {
+			continue
+		}
+		terms = append(terms, fmt.Sprintf("%s * %s", sqlNum(c), sqlFeature(f)))
+	}
+	if tr.Intercept != 0 || len(terms) == 0 {
+		terms = append(terms, sqlNum(tr.Intercept))
+	}
+	out := terms[0]
+	for _, t := range terms[1:] {
+		if strings.HasPrefix(t, "-") {
+			out += " - " + t[1:]
+		} else {
+			out += " + " + t
+		}
+	}
+	return out
+}
+
+// sqlFeature renders a derived feature as a SQL expression.
+func sqlFeature(f Feature) string {
+	switch f.Form {
+	case Log:
+		return fmt.Sprintf("LN(%s)", quoteIdent(f.Attr))
+	case Square:
+		return fmt.Sprintf("%s * %s", quoteIdent(f.Attr), quoteIdent(f.Attr))
+	case Interaction:
+		return fmt.Sprintf("%s * %s", quoteIdent(f.Attr), quoteIdent(f.Attr2))
+	default:
+		return quoteIdent(f.Attr)
+	}
+}
+
+// sqlCond renders a conjunctive predicate as a WHERE clause body.
+func sqlCond(p predicate.Predicate) string {
+	if p.IsTrue() {
+		return "TRUE"
+	}
+	parts := make([]string, len(p.Atoms))
+	for i, a := range p.Atoms {
+		parts[i] = sqlAtom(a)
+	}
+	return strings.Join(parts, " AND ")
+}
+
+func sqlAtom(a predicate.Atom) string {
+	if a.Numeric {
+		op := map[predicate.Op]string{
+			predicate.Eq: "=", predicate.Ne: "<>", predicate.Lt: "<", predicate.Ge: ">=",
+		}[a.Op]
+		return fmt.Sprintf("%s %s %s", quoteIdent(a.Attr), op, sqlNum(a.Num))
+	}
+	switch a.Op {
+	case predicate.Eq:
+		return fmt.Sprintf("%s = %s", quoteIdent(a.Attr), sqlStr(a.Str))
+	case predicate.Ne:
+		return fmt.Sprintf("%s <> %s", quoteIdent(a.Attr), sqlStr(a.Str))
+	case predicate.In:
+		vals := make([]string, len(a.Set))
+		for i, v := range a.Set {
+			vals[i] = sqlStr(v)
+		}
+		return fmt.Sprintf("%s IN (%s)", quoteIdent(a.Attr), strings.Join(vals, ", "))
+	default:
+		return "TRUE"
+	}
+}
+
+// quoteIdent double-quotes identifiers that need it (non-alphanumeric or
+// reserved-looking); plain lowercase identifiers pass through for
+// readability.
+func quoteIdent(name string) string {
+	plain := true
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r == '_':
+		case r >= '0' && r <= '9' && i > 0:
+		default:
+			plain = false
+		}
+	}
+	if plain && name != "" {
+		return name
+	}
+	return `"` + strings.ReplaceAll(name, `"`, `""`) + `"`
+}
+
+// sqlStr single-quotes a string literal, doubling embedded quotes.
+func sqlStr(v string) string {
+	return "'" + strings.ReplaceAll(v, "'", "''") + "'"
+}
+
+// sqlNum renders a numeric constant without scientific notation surprises.
+func sqlNum(x float64) string {
+	s := fmt.Sprintf("%g", x)
+	if strings.ContainsAny(s, "eE") {
+		s = fmt.Sprintf("%.10f", x)
+		s = strings.TrimRight(s, "0")
+		s = strings.TrimSuffix(s, ".")
+	}
+	return s
+}

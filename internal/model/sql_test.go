@@ -1,0 +1,130 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"charles/internal/predicate"
+)
+
+func TestSQLBasicUpdate(t *testing.T) {
+	s := &Summary{
+		Target: "bonus",
+		CTs: []CT{{
+			Cond: predicate.Predicate{Atoms: []predicate.Atom{predicate.StrAtom("edu", predicate.Eq, "PhD")}},
+			Tran: Transformation{Target: "bonus", Inputs: []string{"bonus"}, Coef: []float64{1.05}, Intercept: 1000},
+		}},
+	}
+	got := s.SQL("employees")
+	want := "UPDATE employees SET bonus = 1.05 * bonus + 1000 WHERE edu = 'PhD';"
+	if !strings.Contains(got, want) {
+		t.Errorf("SQL = %q, want to contain %q", got, want)
+	}
+}
+
+func TestSQLNegativeTermsAndNumericAtoms(t *testing.T) {
+	s := &Summary{
+		Target: "pay",
+		CTs: []CT{{
+			Cond: predicate.Predicate{Atoms: []predicate.Atom{
+				predicate.NumAtom("grade", predicate.Ge, 25),
+				predicate.NumAtom("grade", predicate.Lt, 30),
+			}},
+			Tran: Transformation{Target: "pay", Inputs: []string{"pay", "grade"}, Coef: []float64{1.02, -50}, Intercept: -100},
+		}},
+	}
+	got := s.SQL("t")
+	if !strings.Contains(got, "SET pay = 1.02 * pay - 50 * grade - 100") {
+		t.Errorf("expression rendering:\n%s", got)
+	}
+	if !strings.Contains(got, "grade >= 25 AND grade < 30") {
+		t.Errorf("numeric atoms:\n%s", got)
+	}
+}
+
+func TestSQLIdentityCTIsComment(t *testing.T) {
+	s := &Summary{
+		Target: "pay",
+		CTs: []CT{{
+			Cond: predicate.Predicate{Atoms: []predicate.Atom{predicate.StrAtom("dept", predicate.Eq, "HR")}},
+			Tran: Identity("pay"),
+		}},
+	}
+	got := s.SQL("t")
+	if strings.Contains(got, "UPDATE") {
+		t.Errorf("identity CT should not emit an UPDATE:\n%s", got)
+	}
+	if !strings.Contains(got, "-- CT1") || !strings.Contains(got, "no change") {
+		t.Errorf("identity comment missing:\n%s", got)
+	}
+}
+
+func TestSQLTrueConditionOmitsWhere(t *testing.T) {
+	s := &Summary{
+		Target: "pay",
+		CTs: []CT{{
+			Cond: predicate.True(),
+			Tran: Transformation{Target: "pay", Inputs: []string{"pay"}, Coef: []float64{1.02}},
+		}},
+	}
+	got := s.SQL("t")
+	if strings.Contains(got, "WHERE") {
+		t.Errorf("TRUE condition should omit WHERE:\n%s", got)
+	}
+}
+
+func TestSQLQuoting(t *testing.T) {
+	s := &Summary{
+		Target: "Base Salary",
+		CTs: []CT{{
+			Cond: predicate.Predicate{Atoms: []predicate.Atom{predicate.StrAtom("dept", predicate.Eq, "O'Brien & Co")}},
+			Tran: Transformation{Target: "Base Salary", Inputs: []string{"Base Salary"}, Coef: []float64{1.1}},
+		}},
+	}
+	got := s.SQL("t")
+	if !strings.Contains(got, `"Base Salary"`) {
+		t.Errorf("identifier quoting:\n%s", got)
+	}
+	if !strings.Contains(got, "'O''Brien & Co'") {
+		t.Errorf("string escaping:\n%s", got)
+	}
+}
+
+func TestSQLInAtom(t *testing.T) {
+	s := &Summary{
+		Target: "pay",
+		CTs: []CT{{
+			Cond: predicate.Predicate{Atoms: []predicate.Atom{predicate.SetAtom("dept", []string{"POL", "FRS"})}},
+			Tran: Transformation{Target: "pay", Inputs: []string{"pay"}, Coef: []float64{1.04}},
+		}},
+	}
+	got := s.SQL("t")
+	if !strings.Contains(got, "dept IN ('FRS', 'POL')") {
+		t.Errorf("IN rendering:\n%s", got)
+	}
+}
+
+func TestSQLNumAvoidsScientificNotation(t *testing.T) {
+	if got := sqlNum(0.0000015); strings.ContainsAny(got, "eE") {
+		t.Errorf("sqlNum = %q", got)
+	}
+	if got := sqlNum(1.05); got != "1.05" {
+		t.Errorf("sqlNum(1.05) = %q", got)
+	}
+	if got := sqlNum(-50); got != "-50" {
+		t.Errorf("sqlNum(-50) = %q", got)
+	}
+}
+
+func TestSQLConstantOnlyTransformation(t *testing.T) {
+	s := &Summary{
+		Target: "pay",
+		CTs: []CT{{
+			Cond: predicate.True(),
+			Tran: Transformation{Target: "pay", Inputs: []string{"pay"}, Coef: []float64{0}, Intercept: 42},
+		}},
+	}
+	if !strings.Contains(s.SQL("t"), "SET pay = 42") {
+		t.Errorf("constant transformation:\n%s", s.SQL("t"))
+	}
+}

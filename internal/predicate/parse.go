@@ -1,0 +1,274 @@
+package predicate
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"charles/internal/table"
+)
+
+// Parse converts a textual condition into a Predicate, resolving operand
+// types against the table schema. The grammar is the conjunctive fragment
+// the engine itself emits:
+//
+//	cond   := atom { ("&&" | "and" | "∧") atom }
+//	atom   := ident op value
+//	op     := "=" | "==" | "!=" | "≠" | "<" | ">=" | "≥" | "in"
+//	value  := number | quoted string | bare word | "(" list ")"   (in only)
+//
+// Numeric attributes accept numeric comparisons; categorical attributes
+// accept =, !=, and in. `>` and `<=` are normalized into the engine's
+// half-open Lt/Ge forms (x > v ⇒ ¬(x < v) has no direct encoding, so they
+// are rejected with a hint instead — the induced conditions never use them).
+func Parse(input string, schema *table.Table) (Predicate, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return Predicate{}, err
+	}
+	p := &parser{toks: toks, schema: schema}
+	pred, err := p.parse()
+	if err != nil {
+		return Predicate{}, fmt.Errorf("predicate: %w", err)
+	}
+	return pred, nil
+}
+
+type token struct {
+	kind string // ident, op, number, string, lparen, rparen, comma, and
+	text string
+}
+
+func lex(s string) ([]token, error) {
+	var toks []token
+	i := 0
+	rs := []rune(s)
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '(':
+			toks = append(toks, token{"lparen", "("})
+			i++
+		case r == ')':
+			toks = append(toks, token{"rparen", ")"})
+			i++
+		case r == ',':
+			toks = append(toks, token{"comma", ","})
+			i++
+		case r == '\'' || r == '"':
+			quote := r
+			j := i + 1
+			var sb strings.Builder
+			for j < len(rs) && rs[j] != quote {
+				sb.WriteRune(rs[j])
+				j++
+			}
+			if j >= len(rs) {
+				return nil, fmt.Errorf("predicate: unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{"string", sb.String()})
+			i = j + 1
+		case r == '∧':
+			toks = append(toks, token{"and", "&&"})
+			i++
+		case r == '≥':
+			toks = append(toks, token{"op", ">="})
+			i++
+		case r == '≠':
+			toks = append(toks, token{"op", "!="})
+			i++
+		case strings.ContainsRune("=!<>&", r):
+			j := i
+			for j < len(rs) && strings.ContainsRune("=!<>&", rs[j]) {
+				j++
+			}
+			op := string(rs[i:j])
+			if op == "&&" {
+				toks = append(toks, token{"and", op})
+			} else {
+				toks = append(toks, token{"op", op})
+			}
+			i = j
+		case unicode.IsDigit(r) || r == '-' || r == '+' || r == '.':
+			j := i
+			for j < len(rs) && (unicode.IsDigit(rs[j]) || strings.ContainsRune(".eE+-", rs[j])) {
+				// Stop a sign that starts a new token (e.g. "a=1 -b" is not
+				// expected in this grammar, so greedy is fine).
+				j++
+			}
+			toks = append(toks, token{"number", string(rs[i:j])})
+			i = j
+		case unicode.IsLetter(r) || r == '_':
+			j := i
+			for j < len(rs) && (unicode.IsLetter(rs[j]) || unicode.IsDigit(rs[j]) || rs[j] == '_') {
+				j++
+			}
+			word := string(rs[i:j])
+			switch strings.ToLower(word) {
+			case "and":
+				toks = append(toks, token{"and", word})
+			case "in":
+				toks = append(toks, token{"op", "in"})
+			default:
+				toks = append(toks, token{"ident", word})
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("predicate: unexpected character %q at offset %d", r, i)
+		}
+	}
+	return toks, nil
+}
+
+type parser struct {
+	toks   []token
+	pos    int
+	schema *table.Table
+}
+
+func (p *parser) peek() *token {
+	if p.pos >= len(p.toks) {
+		return nil
+	}
+	return &p.toks[p.pos]
+}
+
+func (p *parser) next() *token {
+	t := p.peek()
+	if t != nil {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) parse() (Predicate, error) {
+	if len(p.toks) == 0 {
+		return True(), nil
+	}
+	var pred Predicate
+	for {
+		atom, err := p.parseAtom()
+		if err != nil {
+			return Predicate{}, err
+		}
+		pred = pred.And(atom)
+		t := p.peek()
+		if t == nil {
+			break
+		}
+		if t.kind != "and" {
+			return Predicate{}, fmt.Errorf("expected '&&' before %q", t.text)
+		}
+		p.next()
+	}
+	return pred.Normalize(), nil
+}
+
+func (p *parser) parseAtom() (Atom, error) {
+	t := p.next()
+	if t == nil || t.kind != "ident" {
+		return Atom{}, fmt.Errorf("expected attribute name, got %v", tokText(t))
+	}
+	attr := t.text
+	col, err := p.schema.Column(attr)
+	if err != nil {
+		return Atom{}, err
+	}
+	opTok := p.next()
+	if opTok == nil || opTok.kind != "op" {
+		return Atom{}, fmt.Errorf("expected operator after %q, got %v", attr, tokText(opTok))
+	}
+	numeric := col.Type.Numeric()
+	switch opTok.text {
+	case "=", "==":
+		return p.equalityAtom(attr, numeric, Eq)
+	case "!=":
+		return p.equalityAtom(attr, numeric, Ne)
+	case "<":
+		return p.thresholdAtom(attr, numeric, Lt)
+	case ">=":
+		return p.thresholdAtom(attr, numeric, Ge)
+	case ">", "<=":
+		return Atom{}, fmt.Errorf("operator %q is not in the condition language; use '<' or '>=' (half-open splits)", opTok.text)
+	case "in":
+		return p.inAtom(attr, numeric)
+	default:
+		return Atom{}, fmt.Errorf("unknown operator %q", opTok.text)
+	}
+}
+
+func (p *parser) equalityAtom(attr string, numeric bool, op Op) (Atom, error) {
+	v := p.next()
+	if v == nil {
+		return Atom{}, fmt.Errorf("missing value after %q", attr)
+	}
+	if numeric {
+		if v.kind != "number" {
+			return Atom{}, fmt.Errorf("attribute %q is numeric; got %q", attr, v.text)
+		}
+		x, err := strconv.ParseFloat(v.text, 64)
+		if err != nil {
+			return Atom{}, fmt.Errorf("bad number %q", v.text)
+		}
+		return NumAtom(attr, op, x), nil
+	}
+	if v.kind != "string" && v.kind != "ident" && v.kind != "number" {
+		return Atom{}, fmt.Errorf("bad value %q for attribute %q", v.text, attr)
+	}
+	return StrAtom(attr, op, v.text), nil
+}
+
+func (p *parser) thresholdAtom(attr string, numeric bool, op Op) (Atom, error) {
+	if !numeric {
+		return Atom{}, fmt.Errorf("attribute %q is categorical; '<' and '>=' need a numeric attribute", attr)
+	}
+	v := p.next()
+	if v == nil || v.kind != "number" {
+		return Atom{}, fmt.Errorf("expected number after threshold operator on %q", attr)
+	}
+	x, err := strconv.ParseFloat(v.text, 64)
+	if err != nil {
+		return Atom{}, fmt.Errorf("bad number %q", v.text)
+	}
+	return NumAtom(attr, op, x), nil
+}
+
+func (p *parser) inAtom(attr string, numeric bool) (Atom, error) {
+	if numeric {
+		return Atom{}, fmt.Errorf("'in' requires a categorical attribute; %q is numeric", attr)
+	}
+	if t := p.next(); t == nil || t.kind != "lparen" {
+		return Atom{}, fmt.Errorf("expected '(' after in")
+	}
+	var vals []string
+	for {
+		v := p.next()
+		if v == nil {
+			return Atom{}, fmt.Errorf("unterminated in-list for %q", attr)
+		}
+		if v.kind == "rparen" {
+			break
+		}
+		if v.kind == "comma" {
+			continue
+		}
+		if v.kind != "string" && v.kind != "ident" && v.kind != "number" {
+			return Atom{}, fmt.Errorf("bad in-list value %q", v.text)
+		}
+		vals = append(vals, v.text)
+	}
+	if len(vals) == 0 {
+		return Atom{}, fmt.Errorf("empty in-list for %q", attr)
+	}
+	return SetAtom(attr, vals), nil
+}
+
+func tokText(t *token) string {
+	if t == nil {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}

@@ -1,0 +1,183 @@
+package predicate
+
+import (
+	"strings"
+	"testing"
+
+	"charles/internal/table"
+)
+
+func parseSchema(t *testing.T) *table.Table {
+	t.Helper()
+	tbl := table.MustNew(table.Schema{
+		{Name: "edu", Type: table.String},
+		{Name: "exp", Type: table.Int},
+		{Name: "pay", Type: table.Float},
+	})
+	tbl.MustAppendRow(table.S("PhD"), table.I(2), table.F(230000))
+	tbl.MustAppendRow(table.S("MS"), table.I(5), table.F(160000))
+	return tbl
+}
+
+func TestParseSimpleEquality(t *testing.T) {
+	tbl := parseSchema(t)
+	p, err := Parse("edu = PhD", tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != "edu = PhD" {
+		t.Errorf("parsed = %q", p)
+	}
+	ok, err := p.Eval(tbl, 0)
+	if err != nil || !ok {
+		t.Errorf("eval = %v, %v", ok, err)
+	}
+}
+
+func TestParseConjunctionVariants(t *testing.T) {
+	tbl := parseSchema(t)
+	for _, in := range []string{
+		"edu = MS && exp >= 3",
+		"edu = MS and exp >= 3",
+		"edu = MS AND exp ≥ 3",
+		"edu = MS ∧ exp >= 3",
+		"edu == 'MS' && exp >= 3.0",
+	} {
+		p, err := Parse(in, tbl)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if len(p.Atoms) != 2 {
+			t.Fatalf("%q parsed to %d atoms", in, len(p.Atoms))
+		}
+		ok, err := p.Eval(tbl, 1)
+		if err != nil || !ok {
+			t.Errorf("%q should match row 1: %v, %v", in, ok, err)
+		}
+		ok, _ = p.Eval(tbl, 0)
+		if ok {
+			t.Errorf("%q should not match row 0", in)
+		}
+	}
+}
+
+func TestParseNumericAndNegation(t *testing.T) {
+	tbl := parseSchema(t)
+	p, err := Parse("pay < 200000 && edu != PhD", tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _ := p.Eval(tbl, 1)
+	if !ok {
+		t.Error("row 1 should match")
+	}
+	p2, err := Parse("exp ≥ 3", tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Atoms[0].Op != Ge || p2.Atoms[0].Num != 3 {
+		t.Errorf("unicode ≥ parse: %+v", p2.Atoms[0])
+	}
+	// Negative thresholds parse.
+	p3, err := Parse("pay >= -100", tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.Atoms[0].Num != -100 {
+		t.Errorf("negative threshold: %+v", p3.Atoms[0])
+	}
+}
+
+func TestParseInList(t *testing.T) {
+	tbl := parseSchema(t)
+	p, err := Parse("edu in (PhD, 'MS')", tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Atoms[0].Op != In || len(p.Atoms[0].Set) != 2 {
+		t.Errorf("in-list: %+v", p.Atoms[0])
+	}
+	for r := 0; r < 2; r++ {
+		ok, _ := p.Eval(tbl, r)
+		if !ok {
+			t.Errorf("row %d should match the in-list", r)
+		}
+	}
+}
+
+func TestParseQuotedStringsWithSpaces(t *testing.T) {
+	tbl := table.MustNew(table.Schema{{Name: "dept", Type: table.String}})
+	tbl.MustAppendRow(table.S("Fire and Rescue"))
+	p, err := Parse(`dept = "Fire and Rescue"`, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _ := p.Eval(tbl, 0)
+	if !ok {
+		t.Error("quoted value with spaces should match")
+	}
+}
+
+func TestParseEmptyIsTrue(t *testing.T) {
+	tbl := parseSchema(t)
+	p, err := Parse("", tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsTrue() {
+		t.Error("empty input should parse to TRUE")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tbl := parseSchema(t)
+	cases := []struct {
+		in   string
+		hint string
+	}{
+		{"ghost = 1", "no column"},
+		{"edu < 3", "categorical"},
+		{"exp = MS", "numeric"},
+		{"exp > 3", "half-open"},
+		{"exp <= 3", "half-open"},
+		{"edu in ()", "empty in-list"},
+		{"edu in (PhD", "unterminated"},
+		{"edu =", "missing value"},
+		{"= PhD", "attribute name"},
+		{"edu = 'unterminated", "unterminated string"},
+		{"edu ~ PhD", "unexpected character"},
+		{"exp in (1,2)", "categorical"},
+		{"edu = MS exp >= 3", "&&"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.in, tbl)
+		if err == nil {
+			t.Errorf("Parse(%q) accepted", c.in)
+			continue
+		}
+		if !strings.Contains(strings.ToLower(err.Error()), strings.ToLower(c.hint)) {
+			t.Errorf("Parse(%q) error %q missing hint %q", c.in, err, c.hint)
+		}
+	}
+}
+
+func TestParseRoundTripsEngineOutput(t *testing.T) {
+	// Everything the engine renders (minus the ∧ joins it shares with the
+	// parser) must parse back to a semantically identical predicate.
+	tbl := parseSchema(t)
+	preds := []Predicate{
+		{Atoms: []Atom{StrAtom("edu", Eq, "PhD")}},
+		{Atoms: []Atom{StrAtom("edu", Eq, "MS"), NumAtom("exp", Lt, 3)}},
+		{Atoms: []Atom{NumAtom("pay", Ge, 130000), NumAtom("pay", Lt, 220000)}},
+		{Atoms: []Atom{StrAtom("edu", Ne, "BS")}},
+	}
+	for _, p := range preds {
+		back, err := Parse(p.String(), tbl)
+		if err != nil {
+			t.Fatalf("round-trip %q: %v", p.String(), err)
+		}
+		if !back.Equal(p) {
+			t.Errorf("round-trip changed semantics: %q → %q", p, back)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+// Package predicate implements the condition language of ChARLES: conjunctive
+// predicates over table attributes. A condition is the "why" half of a
+// conditional transformation — it identifies the data partition a
+// transformation applies to, e.g. `edu = MS ∧ exp < 3`.
+package predicate
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"charles/internal/table"
+)
+
+// Op is a comparison operator.
+type Op int
+
+// Supported operators. Numeric attributes use Lt/Ge (the decision-tree
+// induction only produces half-open splits); categorical attributes use
+// Eq/Ne/In.
+const (
+	Eq Op = iota // attr = value (categorical)
+	Ne           // attr ≠ value (categorical)
+	Lt           // attr < threshold (numeric)
+	Ge           // attr ≥ threshold (numeric)
+	In           // attr ∈ {set} (categorical)
+)
+
+// String returns the operator's display form.
+func (o Op) String() string {
+	switch o {
+	case Eq:
+		return "="
+	case Ne:
+		return "≠"
+	case Lt:
+		return "<"
+	case Ge:
+		return "≥"
+	case In:
+		return "∈"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Atom is a single comparison against one attribute.
+type Atom struct {
+	Attr    string
+	Op      Op
+	Num     float64  // threshold for Lt/Ge
+	Str     string   // value for Eq/Ne
+	Set     []string // values for In (sorted)
+	Numeric bool     // true when the atom compares numerically
+}
+
+// NumAtom builds a numeric threshold atom.
+func NumAtom(attr string, op Op, threshold float64) Atom {
+	return Atom{Attr: attr, Op: op, Num: threshold, Numeric: true}
+}
+
+// StrAtom builds a categorical equality/inequality atom.
+func StrAtom(attr string, op Op, value string) Atom {
+	return Atom{Attr: attr, Op: op, Str: value}
+}
+
+// SetAtom builds a set-membership atom.
+func SetAtom(attr string, values []string) Atom {
+	s := append([]string(nil), values...)
+	sort.Strings(s)
+	return Atom{Attr: attr, Op: In, Set: s}
+}
+
+// Eval evaluates the atom against row r of t. Rows with nulls in the tested
+// attribute never match.
+func (a Atom) Eval(t *table.Table, r int) (bool, error) {
+	col, err := t.Column(a.Attr)
+	if err != nil {
+		return false, err
+	}
+	if col.IsNull(r) {
+		return false, nil
+	}
+	if a.Numeric {
+		x := col.Float(r)
+		switch a.Op {
+		case Lt:
+			return x < a.Num, nil
+		case Ge:
+			return x >= a.Num, nil
+		case Eq:
+			return x == a.Num, nil
+		case Ne:
+			return x != a.Num, nil
+		default:
+			return false, fmt.Errorf("predicate: numeric atom with operator %s", a.Op)
+		}
+	}
+	s := col.Str(r)
+	switch a.Op {
+	case Eq:
+		return s == a.Str, nil
+	case Ne:
+		return s != a.Str, nil
+	case In:
+		i := sort.SearchStrings(a.Set, s)
+		return i < len(a.Set) && a.Set[i] == s, nil
+	default:
+		return false, fmt.Errorf("predicate: categorical atom with operator %s", a.Op)
+	}
+}
+
+// String renders the atom, e.g. "edu = PhD" or "exp < 3".
+func (a Atom) String() string {
+	if a.Numeric {
+		return fmt.Sprintf("%s %s %s", a.Attr, a.Op, formatNum(a.Num))
+	}
+	if a.Op == In {
+		return fmt.Sprintf("%s ∈ {%s}", a.Attr, strings.Join(a.Set, ", "))
+	}
+	return fmt.Sprintf("%s %s %s", a.Attr, a.Op, a.Str)
+}
+
+func formatNum(x float64) string {
+	if x == float64(int64(x)) && x < 1e15 && x > -1e15 {
+		return strconv.FormatInt(int64(x), 10)
+	}
+	return strconv.FormatFloat(x, 'g', 6, 64)
+}
+
+// key is a canonical form used for fingerprinting and dedup.
+func (a Atom) key() string {
+	if a.Numeric {
+		return fmt.Sprintf("%s|%d|%.12g", a.Attr, a.Op, a.Num)
+	}
+	if a.Op == In {
+		return fmt.Sprintf("%s|in|%s", a.Attr, strings.Join(a.Set, ","))
+	}
+	return fmt.Sprintf("%s|%d|%s", a.Attr, a.Op, a.Str)
+}
+
+// Predicate is a conjunction of atoms. The empty predicate is TRUE (it
+// matches every row) — used for global, unconditional transformations.
+type Predicate struct {
+	Atoms []Atom
+}
+
+// True returns the always-true predicate.
+func True() Predicate { return Predicate{} }
+
+// And returns a predicate extended with an extra atom (receiver unchanged).
+func (p Predicate) And(a Atom) Predicate {
+	atoms := make([]Atom, 0, len(p.Atoms)+1)
+	atoms = append(atoms, p.Atoms...)
+	atoms = append(atoms, a)
+	return Predicate{Atoms: atoms}
+}
+
+// IsTrue reports whether the predicate matches all rows trivially.
+func (p Predicate) IsTrue() bool { return len(p.Atoms) == 0 }
+
+// Eval evaluates the conjunction against row r.
+func (p Predicate) Eval(t *table.Table, r int) (bool, error) {
+	for _, a := range p.Atoms {
+		ok, err := a.Eval(t, r)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Mask evaluates the predicate over all rows of t.
+func (p Predicate) Mask(t *table.Table) ([]bool, error) {
+	out := make([]bool, t.NumRows())
+	for r := range out {
+		ok, err := p.Eval(t, r)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = ok
+	}
+	return out, nil
+}
+
+// Rows returns the indices of matching rows.
+func (p Predicate) Rows(t *table.Table) ([]int, error) {
+	var rows []int
+	for r := 0; r < t.NumRows(); r++ {
+		ok, err := p.Eval(t, r)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}
+
+// Coverage returns the fraction of rows of t that match (0 for empty t).
+func (p Predicate) Coverage(t *table.Table) (float64, error) {
+	if t.NumRows() == 0 {
+		return 0, nil
+	}
+	rows, err := p.Rows(t)
+	if err != nil {
+		return 0, err
+	}
+	return float64(len(rows)) / float64(t.NumRows()), nil
+}
+
+// Complexity counts the number of atoms (the paper's "fewer descriptors"
+// interpretability criterion).
+func (p Predicate) Complexity() int { return len(p.Atoms) }
+
+// Attrs returns the distinct attributes referenced, sorted.
+func (p Predicate) Attrs() []string {
+	seen := map[string]bool{}
+	for _, a := range p.Atoms {
+		seen[a.Attr] = true
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Normalize merges redundant atoms: multiple Lt atoms on one attribute keep
+// only the tightest bound, likewise Ge; duplicate categorical atoms collapse;
+// Ne atoms implied by an Eq atom on the same attribute are dropped
+// (edu = MS subsumes edu ≠ PhD). Contradictory categorical equalities are
+// preserved (the predicate simply matches nothing). The result is sorted
+// canonically.
+func (p Predicate) Normalize() Predicate {
+	lt := map[string]float64{}
+	ge := map[string]float64{}
+	eqAttr := map[string]string{}
+	for _, a := range p.Atoms {
+		if !a.Numeric && a.Op == Eq {
+			eqAttr[a.Attr] = a.Str
+		}
+	}
+	var rest []Atom
+	seen := map[string]bool{}
+	for _, a := range p.Atoms {
+		switch {
+		case a.Numeric && a.Op == Lt:
+			if cur, ok := lt[a.Attr]; !ok || a.Num < cur {
+				lt[a.Attr] = a.Num
+			}
+		case a.Numeric && a.Op == Ge:
+			if cur, ok := ge[a.Attr]; !ok || a.Num > cur {
+				ge[a.Attr] = a.Num
+			}
+		default:
+			if !a.Numeric && a.Op == Ne {
+				if v, ok := eqAttr[a.Attr]; ok && v != a.Str {
+					continue // implied by the equality on this attribute
+				}
+			}
+			if !seen[a.key()] {
+				seen[a.key()] = true
+				rest = append(rest, a)
+			}
+		}
+	}
+	var atoms []Atom
+	atoms = append(atoms, rest...)
+	for attr, v := range ge {
+		atoms = append(atoms, NumAtom(attr, Ge, v))
+	}
+	for attr, v := range lt {
+		atoms = append(atoms, NumAtom(attr, Lt, v))
+	}
+	sort.Slice(atoms, func(i, j int) bool { return atoms[i].key() < atoms[j].key() })
+	return Predicate{Atoms: atoms}
+}
+
+// String renders the conjunction, e.g. "edu = MS ∧ exp < 3"; TRUE when empty.
+func (p Predicate) String() string {
+	if p.IsTrue() {
+		return "TRUE"
+	}
+	parts := make([]string, len(p.Atoms))
+	for i, a := range p.Atoms {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, " ∧ ")
+}
+
+// Fingerprint returns a canonical identity string (normalization applied),
+// so semantically equal predicates compare equal.
+func (p Predicate) Fingerprint() string {
+	n := p.Normalize()
+	keys := make([]string, len(n.Atoms))
+	for i, a := range n.Atoms {
+		keys[i] = a.key()
+	}
+	return strings.Join(keys, "&")
+}
+
+// Equal reports semantic equality via fingerprints.
+func (p Predicate) Equal(o Predicate) bool { return p.Fingerprint() == o.Fingerprint() }

@@ -1,0 +1,263 @@
+package predicate
+
+import (
+	"strings"
+	"testing"
+
+	"charles/internal/table"
+)
+
+func sampleTable(t *testing.T) *table.Table {
+	t.Helper()
+	tbl := table.MustNew(table.Schema{
+		{Name: "edu", Type: table.String},
+		{Name: "exp", Type: table.Int},
+		{Name: "pay", Type: table.Float},
+	})
+	tbl.MustAppendRow(table.S("PhD"), table.I(2), table.F(230000))
+	tbl.MustAppendRow(table.S("MS"), table.I(5), table.F(160000))
+	tbl.MustAppendRow(table.S("MS"), table.I(1), table.F(130000))
+	tbl.MustAppendRow(table.S("BS"), table.I(3), table.F(110000))
+	tbl.MustAppendRow(table.Null(table.String), table.Null(table.Int), table.F(90000))
+	return tbl
+}
+
+func mustMask(t *testing.T, p Predicate, tbl *table.Table) []bool {
+	t.Helper()
+	m, err := p.Mask(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestAtomOps(t *testing.T) {
+	tbl := sampleTable(t)
+	cases := []struct {
+		atom Atom
+		want []bool
+	}{
+		{StrAtom("edu", Eq, "MS"), []bool{false, true, true, false, false}},
+		{StrAtom("edu", Ne, "MS"), []bool{true, false, false, true, false}},
+		{NumAtom("exp", Lt, 3), []bool{true, false, true, false, false}},
+		{NumAtom("exp", Ge, 3), []bool{false, true, false, true, false}},
+		{SetAtom("edu", []string{"PhD", "BS"}), []bool{true, false, false, true, false}},
+		{NumAtom("pay", Eq, 160000), []bool{false, true, false, false, false}},
+		{NumAtom("pay", Ne, 160000), []bool{true, false, true, true, true}},
+	}
+	for _, c := range cases {
+		got := mustMask(t, Predicate{Atoms: []Atom{c.atom}}, tbl)
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("%s: row %d = %v, want %v", c.atom, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestNullsNeverMatch(t *testing.T) {
+	tbl := sampleTable(t)
+	// Row 4 has null edu and exp; neither a positive nor a negative atom
+	// may match it.
+	for _, a := range []Atom{
+		StrAtom("edu", Eq, "MS"), StrAtom("edu", Ne, "MS"),
+		NumAtom("exp", Lt, 100), NumAtom("exp", Ge, -100),
+	} {
+		ok, err := a.Eval(tbl, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Errorf("%s matched a null row", a)
+		}
+	}
+}
+
+func TestAtomUnknownAttr(t *testing.T) {
+	tbl := sampleTable(t)
+	if _, err := StrAtom("ghost", Eq, "x").Eval(tbl, 0); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
+
+func TestConjunction(t *testing.T) {
+	tbl := sampleTable(t)
+	p := True().And(StrAtom("edu", Eq, "MS")).And(NumAtom("exp", Ge, 3))
+	got := mustMask(t, p, tbl)
+	want := []bool{false, true, false, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTruePredicate(t *testing.T) {
+	tbl := sampleTable(t)
+	p := True()
+	if !p.IsTrue() {
+		t.Error("True() not IsTrue")
+	}
+	cov, err := p.Coverage(tbl)
+	if err != nil || cov != 1 {
+		t.Errorf("TRUE coverage = %v, %v", cov, err)
+	}
+	if p.String() != "TRUE" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestAndDoesNotMutateReceiver(t *testing.T) {
+	p := True().And(StrAtom("edu", Eq, "MS"))
+	q := p.And(NumAtom("exp", Lt, 3))
+	r := p.And(NumAtom("exp", Ge, 3))
+	if len(p.Atoms) != 1 || len(q.Atoms) != 2 || len(r.Atoms) != 2 {
+		t.Error("And mutated its receiver")
+	}
+	if q.Atoms[1].Op == r.Atoms[1].Op {
+		t.Error("sibling predicates share atom storage")
+	}
+}
+
+func TestCoverageAndRows(t *testing.T) {
+	tbl := sampleTable(t)
+	p := Predicate{Atoms: []Atom{StrAtom("edu", Eq, "MS")}}
+	rows, err := p.Rows(tbl)
+	if err != nil || len(rows) != 2 || rows[0] != 1 || rows[1] != 2 {
+		t.Errorf("Rows = %v, %v", rows, err)
+	}
+	cov, err := p.Coverage(tbl)
+	if err != nil || cov != 0.4 {
+		t.Errorf("Coverage = %v, %v", cov, err)
+	}
+	empty := table.MustNew(tbl.Schema())
+	cov, err = p.Coverage(empty)
+	if err != nil || cov != 0 {
+		t.Errorf("empty coverage = %v, %v", cov, err)
+	}
+}
+
+func TestNormalizeTightensNumericBounds(t *testing.T) {
+	p := Predicate{Atoms: []Atom{
+		NumAtom("exp", Lt, 10),
+		NumAtom("exp", Lt, 5),
+		NumAtom("exp", Ge, 1),
+		NumAtom("exp", Ge, 3),
+	}}
+	n := p.Normalize()
+	if len(n.Atoms) != 2 {
+		t.Fatalf("normalized atoms = %v", n.Atoms)
+	}
+	var lt, ge float64
+	for _, a := range n.Atoms {
+		switch a.Op {
+		case Lt:
+			lt = a.Num
+		case Ge:
+			ge = a.Num
+		}
+	}
+	if lt != 5 || ge != 3 {
+		t.Errorf("bounds = [%v, %v), want [3, 5)", ge, lt)
+	}
+}
+
+func TestNormalizeDropsImpliedNe(t *testing.T) {
+	p := Predicate{Atoms: []Atom{
+		StrAtom("edu", Ne, "BS"),
+		StrAtom("edu", Ne, "PhD"),
+		StrAtom("edu", Eq, "MS"),
+	}}
+	n := p.Normalize()
+	if len(n.Atoms) != 1 || n.Atoms[0].Op != Eq {
+		t.Errorf("normalized = %v", n)
+	}
+}
+
+func TestNormalizeDropsDuplicates(t *testing.T) {
+	a := StrAtom("edu", Eq, "MS")
+	p := Predicate{Atoms: []Atom{a, a, a}}
+	if n := p.Normalize(); len(n.Atoms) != 1 {
+		t.Errorf("duplicates survived: %v", n)
+	}
+}
+
+func TestFingerprintOrderInsensitive(t *testing.T) {
+	p := Predicate{Atoms: []Atom{StrAtom("edu", Eq, "MS"), NumAtom("exp", Lt, 3)}}
+	q := Predicate{Atoms: []Atom{NumAtom("exp", Lt, 3), StrAtom("edu", Eq, "MS")}}
+	if p.Fingerprint() != q.Fingerprint() {
+		t.Error("fingerprints differ for reordered atoms")
+	}
+	if !p.Equal(q) {
+		t.Error("Equal should use fingerprints")
+	}
+	r := p.And(NumAtom("pay", Ge, 100))
+	if p.Equal(r) {
+		t.Error("different predicates compare equal")
+	}
+}
+
+func TestNormalizeIdempotentAndMaskPreserving(t *testing.T) {
+	tbl := sampleTable(t)
+	preds := []Predicate{
+		{Atoms: []Atom{StrAtom("edu", Ne, "BS"), StrAtom("edu", Ne, "PhD"), StrAtom("edu", Eq, "MS"), NumAtom("exp", Lt, 9), NumAtom("exp", Lt, 4)}},
+		{Atoms: []Atom{NumAtom("pay", Ge, 100000), NumAtom("pay", Ge, 120000)}},
+		True(),
+	}
+	for _, p := range preds {
+		n := p.Normalize()
+		nn := n.Normalize()
+		if n.Fingerprint() != nn.Fingerprint() {
+			t.Errorf("Normalize not idempotent for %s", p)
+		}
+		a := mustMask(t, p, tbl)
+		b := mustMask(t, n, tbl)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("Normalize changed semantics of %s at row %d", p, i)
+			}
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	p := Predicate{Atoms: []Atom{StrAtom("edu", Eq, "MS"), NumAtom("exp", Lt, 3)}}
+	s := p.String()
+	if !strings.Contains(s, "edu = MS") || !strings.Contains(s, "exp < 3") || !strings.Contains(s, "∧") {
+		t.Errorf("String = %q", s)
+	}
+	set := Predicate{Atoms: []Atom{SetAtom("edu", []string{"MS", "BS"})}}
+	if !strings.Contains(set.String(), "edu ∈ {BS, MS}") {
+		t.Errorf("set rendering = %q", set.String())
+	}
+	if got := NumAtom("pay", Ge, 130000).String(); got != "pay ≥ 130000" {
+		t.Errorf("integer-valued float rendering = %q", got)
+	}
+}
+
+func TestAttrs(t *testing.T) {
+	p := Predicate{Atoms: []Atom{
+		NumAtom("exp", Lt, 3), StrAtom("edu", Eq, "MS"), NumAtom("exp", Ge, 1),
+	}}
+	attrs := p.Attrs()
+	if len(attrs) != 2 || attrs[0] != "edu" || attrs[1] != "exp" {
+		t.Errorf("Attrs = %v", attrs)
+	}
+	if p.Complexity() != 3 {
+		t.Errorf("Complexity = %d", p.Complexity())
+	}
+}
+
+func TestEvalErrorPropagatesFromMask(t *testing.T) {
+	tbl := sampleTable(t)
+	p := Predicate{Atoms: []Atom{StrAtom("ghost", Eq, "x")}}
+	if _, err := p.Mask(tbl); err == nil {
+		t.Error("Mask with unknown attribute should fail")
+	}
+	if _, err := p.Rows(tbl); err == nil {
+		t.Error("Rows with unknown attribute should fail")
+	}
+	if _, err := p.Coverage(tbl); err == nil {
+		t.Error("Coverage with unknown attribute should fail")
+	}
+}

@@ -1,0 +1,162 @@
+package regress
+
+import (
+	"math"
+)
+
+// SnapOptions control coefficient snapping.
+type SnapOptions struct {
+	// Tolerance is the maximum allowed *relative* growth in MAE caused by
+	// snapping; e.g. 0.05 permits snapped models whose mean absolute error
+	// is at most 5% worse (in absolute terms, relative to the target scale)
+	// than the exact fit. ≤ 0 disables snapping.
+	Tolerance float64
+	// Scale normalizes the MAE comparison; typically the mean |target|.
+	// When 0, a scale is derived from the targets.
+	Scale float64
+}
+
+// Snap rounds each coefficient (and the intercept) of m to nearby "normal"
+// values — the grid humans use for policies: 1.05 rather than 1.0493,
+// 1000 rather than 997.3 — keeping the rounding only when the model's mean
+// absolute error on (x, y) does not degrade beyond the tolerance.
+//
+// It returns a new model; m is unchanged. Snapping proceeds coordinate-wise
+// from the coarsest candidate to the finest, greedily keeping the coarsest
+// acceptable rounding per coefficient (jointly validated at the end).
+func Snap(m *Model, x [][]float64, y []float64, opts SnapOptions) *Model {
+	if opts.Tolerance <= 0 || len(y) == 0 {
+		return m.Clone()
+	}
+	scale := opts.Scale
+	if scale <= 0 {
+		for _, v := range y {
+			scale += math.Abs(v)
+		}
+		scale /= float64(len(y))
+		if scale == 0 {
+			scale = 1
+		}
+	}
+	budget := opts.Tolerance * scale
+
+	best := m.Clone()
+	// Try snapping each parameter independently, coarsest first; accept a
+	// candidate when the resulting model stays within the error budget.
+	params := len(m.Coef) + 1
+	for p := 0; p < params; p++ {
+		orig := getParam(best, p)
+		for _, cand := range RoundCandidates(orig) {
+			if cand == orig {
+				break // already normal
+			}
+			trial := best.Clone()
+			setParam(trial, p, cand)
+			trial.Refit(x, y)
+			if trial.MAE <= m.MAE+budget {
+				best = trial
+				break
+			}
+		}
+	}
+	best.Refit(x, y)
+	return best
+}
+
+func getParam(m *Model, p int) float64 {
+	if p < len(m.Coef) {
+		return m.Coef[p]
+	}
+	return m.Intercept
+}
+
+func setParam(m *Model, p int, v float64) {
+	if p < len(m.Coef) {
+		m.Coef[p] = v
+	} else {
+		m.Intercept = v
+	}
+}
+
+// RoundCandidates returns rounded versions of x ordered from coarsest to
+// finest: zero first (the most normal constant of all — it removes a term),
+// then 1–5 significant digits. The final candidate is x itself. Zero maps
+// to just {0}.
+func RoundCandidates(x float64) []float64 {
+	if x == 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+		return []float64{x}
+	}
+	out := []float64{0}
+	seen := map[float64]bool{0: true}
+	// Round to 1..5 significant digits.
+	for digits := 1; digits <= 5; digits++ {
+		r := RoundSig(x, digits)
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	if !seen[x] {
+		out = append(out, x)
+	}
+	return out
+}
+
+// RoundSig rounds x to the given number of significant decimal digits.
+// Negative powers of ten are applied by division (10⁵ is exact in binary
+// floating point, 10⁻⁵ is not), so rounding 185000 to one digit yields
+// exactly 200000 rather than 199999.99999999997.
+func RoundSig(x float64, digits int) float64 {
+	if x == 0 {
+		return 0
+	}
+	p := float64(digits-1) - math.Floor(math.Log10(math.Abs(x)))
+	if p >= 0 {
+		mag := math.Pow(10, p)
+		return math.Round(x*mag) / mag
+	}
+	div := math.Pow(10, -p)
+	return math.Round(x/div) * div
+}
+
+// Roundness scores how "normal" a constant looks, in [0,1]: 1 for values
+// that are already 1–2 significant digits (10%, 0.05, 1000), decreasing as
+// more digits are needed to represent the value exactly. ChARLES uses it in
+// the interpretability score: "Age > 25" beats "Age > 23.796".
+func Roundness(x float64) float64 {
+	if x == 0 {
+		return 1
+	}
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	for digits := 1; digits <= 6; digits++ {
+		r := RoundSig(x, digits)
+		if closeEnough(r, x) {
+			// digits=1 or 2 → 1.0, then decay.
+			switch digits {
+			case 1:
+				return 1
+			case 2:
+				return 1
+			case 3:
+				return 0.75
+			case 4:
+				return 0.5
+			case 5:
+				return 0.3
+			default:
+				return 0.15
+			}
+		}
+	}
+	return 0.1
+}
+
+func closeEnough(a, b float64) bool {
+	diff := math.Abs(a - b)
+	if diff == 0 {
+		return true
+	}
+	return diff <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}

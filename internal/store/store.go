@@ -1,0 +1,231 @@
+// Package store is a minimal bolt-on version store for relational
+// snapshots — the substrate the paper's related work attributes to
+// OrpheusDB ("bolt-on versioning for relational databases"). It keeps a
+// lineage of table versions, content-addressed by a SHA-256 of their
+// canonical CSV serialization, and integrates with the ChARLES engine so
+// any two versions in the history can be diffed and semantically
+// summarized.
+//
+// Storage is deliberately simple and inspectable: each version is a full
+// CSV blob plus a JSON manifest (id, parent, message, key, sequence); with
+// a directory configured the store persists across processes, without one
+// it is memory-only.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"charles/internal/core"
+	"charles/internal/csvio"
+	"charles/internal/diff"
+	"charles/internal/table"
+)
+
+// ErrNotFound is returned for unknown version ids.
+var ErrNotFound = errors.New("store: version not found")
+
+// Version describes one committed snapshot.
+type Version struct {
+	ID      string   `json:"id"`
+	Parent  string   `json:"parent,omitempty"`
+	Message string   `json:"message"`
+	Seq     int      `json:"seq"` // commit order, 1-based
+	Key     []string `json:"key"`
+	Rows    int      `json:"rows"`
+	Cols    int      `json:"cols"`
+}
+
+// Store is a lineage of table versions.
+type Store struct {
+	dir      string // "" = memory only
+	versions map[string]*Version
+	blobs    map[string][]byte // id -> canonical CSV
+	order    []string          // ids in commit order
+}
+
+// Open creates a store. With a non-empty dir, existing versions are loaded
+// and future commits are persisted there.
+func Open(dir string) (*Store, error) {
+	s := &Store{dir: dir, versions: map[string]*Version{}, blobs: map[string][]byte{}}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	manifest := filepath.Join(dir, "manifest.json")
+	data, err := os.ReadFile(manifest)
+	if errors.Is(err, os.ErrNotExist) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var versions []*Version
+	if err := json.Unmarshal(data, &versions); err != nil {
+		return nil, fmt.Errorf("store: corrupt manifest: %w", err)
+	}
+	sort.Slice(versions, func(i, j int) bool { return versions[i].Seq < versions[j].Seq })
+	for _, v := range versions {
+		blob, err := os.ReadFile(filepath.Join(dir, v.ID+".csv"))
+		if err != nil {
+			return nil, fmt.Errorf("store: version %s blob: %w", v.ID, err)
+		}
+		s.versions[v.ID] = v
+		s.blobs[v.ID] = blob
+		s.order = append(s.order, v.ID)
+	}
+	return s, nil
+}
+
+// Commit stores a snapshot and returns its version. The table's primary key
+// declaration is recorded (and required — summarization needs it). Parent
+// may be empty for a root version. Committing byte-identical content twice
+// returns the existing version (content addressing).
+func (s *Store) Commit(t *table.Table, parent, message string) (*Version, error) {
+	if len(t.Key()) == 0 {
+		return nil, fmt.Errorf("store: table has no primary key; SetKey before committing")
+	}
+	if parent != "" {
+		if _, ok := s.versions[parent]; !ok {
+			return nil, fmt.Errorf("%w: parent %q", ErrNotFound, parent)
+		}
+	}
+	blob, err := canonicalCSV(t)
+	if err != nil {
+		return nil, err
+	}
+	id := contentID(blob, t.Key())
+	if existing, ok := s.versions[id]; ok {
+		return existing, nil
+	}
+	v := &Version{
+		ID: id, Parent: parent, Message: message,
+		Seq: len(s.order) + 1, Key: t.Key(),
+		Rows: t.NumRows(), Cols: t.NumCols(),
+	}
+	s.versions[id] = v
+	s.blobs[id] = blob
+	s.order = append(s.order, id)
+	if s.dir != "" {
+		if err := s.persist(v, blob); err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
+}
+
+func (s *Store) persist(v *Version, blob []byte) error {
+	if err := os.WriteFile(filepath.Join(s.dir, v.ID+".csv"), blob, 0o644); err != nil {
+		return err
+	}
+	var versions []*Version
+	for _, id := range s.order {
+		versions = append(versions, s.versions[id])
+	}
+	data, err := json.MarshalIndent(versions, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(s.dir, "manifest.json"), data, 0o644)
+}
+
+// Checkout reconstructs the table stored under id.
+func (s *Store) Checkout(id string) (*table.Table, error) {
+	v, ok := s.versions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	t, err := csvio.Read(bytes.NewReader(s.blobs[id]), csvio.Options{Key: v.Key})
+	if err != nil {
+		return nil, fmt.Errorf("store: version %s: %w", id, err)
+	}
+	return t, nil
+}
+
+// Get returns the version metadata for id.
+func (s *Store) Get(id string) (*Version, error) {
+	v, ok := s.versions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return v, nil
+}
+
+// Log returns all versions in commit order.
+func (s *Store) Log() []*Version {
+	out := make([]*Version, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.versions[id])
+	}
+	return out
+}
+
+// Lineage walks parents from id back to the root (inclusive, newest first).
+func (s *Store) Lineage(id string) ([]*Version, error) {
+	var out []*Version
+	for id != "" {
+		v, ok := s.versions[id]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+		}
+		out = append(out, v)
+		id = v.Parent
+	}
+	return out, nil
+}
+
+// Diff aligns two stored versions (by the snapshots' shared primary key).
+func (s *Store) Diff(fromID, toID string) (*diff.Aligned, error) {
+	src, err := s.Checkout(fromID)
+	if err != nil {
+		return nil, err
+	}
+	tgt, err := s.Checkout(toID)
+	if err != nil {
+		return nil, err
+	}
+	return diff.Align(src, tgt)
+}
+
+// Summarize runs the ChARLES engine between two stored versions.
+func (s *Store) Summarize(fromID, toID string, opts core.Options) ([]core.Ranked, error) {
+	a, err := s.Diff(fromID, toID)
+	if err != nil {
+		return nil, err
+	}
+	return core.SummarizeAligned(a, opts)
+}
+
+// canonicalCSV serializes a table deterministically (rows sorted by primary
+// key) so identical relations get identical ids regardless of row order.
+func canonicalCSV(t *table.Table) ([]byte, error) {
+	sorted, err := t.SortByKey()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := csvio.Write(&buf, sorted); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// contentID hashes the canonical blob and key declaration.
+func contentID(blob []byte, key []string) string {
+	h := sha256.New()
+	h.Write(blob)
+	for _, k := range key {
+		h.Write([]byte{0})
+		h.Write([]byte(k))
+	}
+	return hex.EncodeToString(h.Sum(nil))[:12]
+}

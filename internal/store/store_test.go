@@ -1,0 +1,212 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"charles/internal/core"
+	"charles/internal/gen"
+	"charles/internal/table"
+)
+
+func TestCommitCheckoutRoundTrip(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := gen.Toy()
+	v, err := s.Commit(src, "", "2016 snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Rows != 9 || v.Seq != 1 || v.Parent != "" {
+		t.Errorf("version = %+v", v)
+	}
+	back, err := s.Checkout(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != 9 {
+		t.Errorf("checkout rows = %d", back.NumRows())
+	}
+	// Values survive (canonical order may differ from insertion order).
+	row, err := back.RowByKey("Anne")
+	if err != nil || row < 0 {
+		t.Fatalf("Anne missing after round-trip: %d, %v", row, err)
+	}
+	val, err := back.Value(row, "bonus")
+	if err != nil || val.Float() != 23000 {
+		t.Errorf("Anne bonus = %v", val)
+	}
+}
+
+func TestContentAddressing(t *testing.T) {
+	s, _ := Open("")
+	src, _ := gen.Toy()
+	v1, err := s.Commit(src, "", "first")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical content commits to the same id (and does not duplicate).
+	v2, err := s.Commit(src.Clone(), "", "dup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.ID != v2.ID {
+		t.Errorf("identical content produced different ids: %s vs %s", v1.ID, v2.ID)
+	}
+	if len(s.Log()) != 1 {
+		t.Errorf("log has %d entries, want 1", len(s.Log()))
+	}
+	// Row order does not matter: permuted rows hash identically.
+	perm := src.Gather([]int{8, 7, 6, 5, 4, 3, 2, 1, 0})
+	v3, err := s.Commit(perm, "", "permuted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3.ID != v1.ID {
+		t.Error("row permutation changed the content id")
+	}
+}
+
+func TestLineageAndLog(t *testing.T) {
+	s, _ := Open("")
+	d1, d2 := gen.Toy()
+	v1, err := s.Commit(d1, "", "2016")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := s.Commit(d2, v1.ID, "2017")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lineage, err := s.Lineage(v2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lineage) != 2 || lineage[0].ID != v2.ID || lineage[1].ID != v1.ID {
+		t.Errorf("lineage = %+v", lineage)
+	}
+	log := s.Log()
+	if len(log) != 2 || log[0].Seq != 1 || log[1].Seq != 2 {
+		t.Errorf("log = %+v", log)
+	}
+}
+
+func TestCommitValidation(t *testing.T) {
+	s, _ := Open("")
+	noKey := table.MustNew(table.Schema{{Name: "x", Type: table.Int}})
+	noKey.MustAppendRow(table.I(1))
+	if _, err := s.Commit(noKey, "", "bad"); err == nil {
+		t.Error("keyless table accepted")
+	}
+	src, _ := gen.Toy()
+	if _, err := s.Commit(src, "nonexistent", "orphan"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown parent: %v", err)
+	}
+	if _, err := s.Checkout("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown checkout: %v", err)
+	}
+	if _, err := s.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown get: %v", err)
+	}
+}
+
+func TestDiffAndSummarizeBetweenVersions(t *testing.T) {
+	s, _ := Open("")
+	d1, d2 := gen.Toy()
+	v1, err := s.Commit(d1, "", "2016")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := s.Commit(d2, v1.ID, "2017 raises")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Diff(v1.ID, v2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ud, err := a.UpdateDistance(1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ud == 0 {
+		t.Error("versions should differ")
+	}
+	ranked, err := s.Summarize(v1.ID, v2.ID, core.DefaultOptions("bonus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranked[0].Breakdown.Score < 0.85 {
+		t.Errorf("cross-version summary score = %v", ranked[0].Breakdown.Score)
+	}
+	if ranked[0].Summary.Size() != 3 {
+		t.Errorf("cross-version summary size = %d", ranked[0].Summary.Size())
+	}
+}
+
+func TestPersistenceAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, d2 := gen.Toy()
+	v1, err := s1.Commit(d1, "", "2016")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := s1.Commit(d2, v1.ID, "2017")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-open from disk.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := s2.Log()
+	if len(log) != 2 {
+		t.Fatalf("reloaded log = %d entries", len(log))
+	}
+	if log[1].ID != v2.ID || log[1].Parent != v1.ID || log[1].Message != "2017" {
+		t.Errorf("reloaded metadata = %+v", log[1])
+	}
+	back, err := s2.Checkout(v2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := back.RowByKey("Anne")
+	if err != nil {
+		t.Fatal(err)
+	}
+	val, _ := back.Value(row, "bonus")
+	if val.Float() != 25150 {
+		t.Errorf("reloaded Anne 2017 bonus = %v", val)
+	}
+	// And summarization still works on the reloaded store.
+	ranked, err := s2.Summarize(v1.ID, v2.ID, core.DefaultOptions("bonus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranked[0].Summary.Size() != 3 {
+		t.Errorf("post-reload summary size = %d", ranked[0].Summary.Size())
+	}
+}
+
+func TestOpenRejectsCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeFile(dir+"/manifest.json", "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Error("corrupt manifest accepted")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,285 @@
+package table
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Column is a typed, nullable column of values stored contiguously.
+// Exactly one of the payload slices is populated, according to Type.
+type Column struct {
+	Name string
+	Type Type
+
+	floats []float64
+	ints   []int64
+	strs   []string
+	bools  []bool
+	nulls  []bool
+}
+
+// NewColumn creates an empty column with the given name and type.
+func NewColumn(name string, t Type) *Column {
+	return &Column{Name: name, Type: t}
+}
+
+// Len returns the number of values in the column.
+func (c *Column) Len() int { return len(c.nulls) }
+
+// compatible reports whether v can be stored in this column.
+func (c *Column) compatible(v Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	switch c.Type {
+	case Float, Int:
+		if !v.Type().Numeric() {
+			return fmt.Errorf("table: column %q (%s): incompatible value type %s", c.Name, c.Type, v.Type())
+		}
+	default:
+		if v.Type() != c.Type {
+			return fmt.Errorf("table: column %q (%s): incompatible value type %s", c.Name, c.Type, v.Type())
+		}
+	}
+	return nil
+}
+
+// Append adds a value, converting between numeric types as needed.
+// It returns an error when the value is incompatible with the column type.
+func (c *Column) Append(v Value) error {
+	if v.IsNull() {
+		c.appendZero()
+		c.nulls[len(c.nulls)-1] = true
+		return nil
+	}
+	switch c.Type {
+	case Float:
+		if !v.Type().Numeric() {
+			return fmt.Errorf("table: column %q (float): incompatible value type %s", c.Name, v.Type())
+		}
+		c.floats = append(c.floats, v.Float())
+	case Int:
+		if !v.Type().Numeric() {
+			return fmt.Errorf("table: column %q (int): incompatible value type %s", c.Name, v.Type())
+		}
+		c.ints = append(c.ints, v.Int())
+	case String:
+		if v.Type() != String {
+			return fmt.Errorf("table: column %q (string): incompatible value type %s", c.Name, v.Type())
+		}
+		c.strs = append(c.strs, v.Str())
+	case Bool:
+		if v.Type() != Bool {
+			return fmt.Errorf("table: column %q (bool): incompatible value type %s", c.Name, v.Type())
+		}
+		c.bools = append(c.bools, v.Bool())
+	}
+	c.nulls = append(c.nulls, false)
+	return nil
+}
+
+func (c *Column) appendZero() {
+	switch c.Type {
+	case Float:
+		c.floats = append(c.floats, 0)
+	case Int:
+		c.ints = append(c.ints, 0)
+	case String:
+		c.strs = append(c.strs, "")
+	case Bool:
+		c.bools = append(c.bools, false)
+	}
+	c.nulls = append(c.nulls, false)
+}
+
+// Value returns the value at row i.
+func (c *Column) Value(i int) Value {
+	if c.nulls[i] {
+		return Null(c.Type)
+	}
+	switch c.Type {
+	case Float:
+		return F(c.floats[i])
+	case Int:
+		return I(c.ints[i])
+	case String:
+		return S(c.strs[i])
+	case Bool:
+		return B(c.bools[i])
+	}
+	return Null(c.Type)
+}
+
+// Set overwrites the value at row i.
+func (c *Column) Set(i int, v Value) error {
+	if v.IsNull() {
+		c.nulls[i] = true
+		return nil
+	}
+	switch c.Type {
+	case Float:
+		if !v.Type().Numeric() {
+			return fmt.Errorf("table: column %q (float): incompatible value type %s", c.Name, v.Type())
+		}
+		c.floats[i] = v.Float()
+	case Int:
+		if !v.Type().Numeric() {
+			return fmt.Errorf("table: column %q (int): incompatible value type %s", c.Name, v.Type())
+		}
+		c.ints[i] = v.Int()
+	case String:
+		if v.Type() != String {
+			return fmt.Errorf("table: column %q (string): incompatible value type %s", c.Name, v.Type())
+		}
+		c.strs[i] = v.Str()
+	case Bool:
+		if v.Type() != Bool {
+			return fmt.Errorf("table: column %q (bool): incompatible value type %s", c.Name, v.Type())
+		}
+		c.bools[i] = v.Bool()
+	}
+	c.nulls[i] = false
+	return nil
+}
+
+// Float returns the numeric value at row i (NaN for nulls/non-numeric).
+// It avoids the Value boxing on the hot paths (regression, clustering).
+func (c *Column) Float(i int) float64 {
+	if c.nulls[i] {
+		return math.NaN()
+	}
+	switch c.Type {
+	case Float:
+		return c.floats[i]
+	case Int:
+		return float64(c.ints[i])
+	default:
+		return math.NaN()
+	}
+}
+
+// Str returns the categorical representation at row i.
+func (c *Column) Str(i int) string {
+	if c.nulls[i] {
+		return ""
+	}
+	switch c.Type {
+	case String:
+		return c.strs[i]
+	default:
+		return c.Value(i).Str()
+	}
+}
+
+// IsNull reports whether row i is null.
+func (c *Column) IsNull(i int) bool { return c.nulls[i] }
+
+// Floats returns all numeric values as a fresh slice (NaN for nulls).
+func (c *Column) Floats() []float64 {
+	out := make([]float64, c.Len())
+	for i := range out {
+		out[i] = c.Float(i)
+	}
+	return out
+}
+
+// Distinct returns the distinct non-null categorical values, sorted.
+func (c *Column) Distinct() []string {
+	seen := map[string]bool{}
+	for i := 0; i < c.Len(); i++ {
+		if c.nulls[i] {
+			continue
+		}
+		seen[c.Str(i)] = true
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// clone returns a deep copy of the column.
+func (c *Column) clone() *Column {
+	d := &Column{Name: c.Name, Type: c.Type}
+	d.floats = append([]float64(nil), c.floats...)
+	d.ints = append([]int64(nil), c.ints...)
+	d.strs = append([]string(nil), c.strs...)
+	d.bools = append([]bool(nil), c.bools...)
+	d.nulls = append([]bool(nil), c.nulls...)
+	return d
+}
+
+// gather returns a new column containing rows[i] in order.
+func (c *Column) gather(rows []int) *Column {
+	d := &Column{Name: c.Name, Type: c.Type}
+	for _, r := range rows {
+		switch c.Type {
+		case Float:
+			d.floats = append(d.floats, c.floats[r])
+		case Int:
+			d.ints = append(d.ints, c.ints[r])
+		case String:
+			d.strs = append(d.strs, c.strs[r])
+		case Bool:
+			d.bools = append(d.bools, c.bools[r])
+		}
+		d.nulls = append(d.nulls, c.nulls[r])
+	}
+	return d
+}
+
+// ColumnStats summarizes a column's distribution.
+type ColumnStats struct {
+	Name     string
+	Type     Type
+	N        int     // non-null count
+	Nulls    int     // null count
+	Distinct int     // distinct non-null values
+	Min      float64 // numeric only (NaN otherwise)
+	Max      float64
+	Mean     float64
+	Std      float64 // population standard deviation
+}
+
+// Stats computes summary statistics for the column.
+func (c *Column) Stats() ColumnStats {
+	st := ColumnStats{Name: c.Name, Type: c.Type, Min: math.NaN(), Max: math.NaN(), Mean: math.NaN(), Std: math.NaN()}
+	st.Distinct = len(c.Distinct())
+	for i := 0; i < c.Len(); i++ {
+		if c.nulls[i] {
+			st.Nulls++
+		} else {
+			st.N++
+		}
+	}
+	if !c.Type.Numeric() || st.N == 0 {
+		return st
+	}
+	var sum, sumsq float64
+	st.Min, st.Max = math.Inf(1), math.Inf(-1)
+	for i := 0; i < c.Len(); i++ {
+		if c.nulls[i] {
+			continue
+		}
+		x := c.Float(i)
+		sum += x
+		sumsq += x * x
+		if x < st.Min {
+			st.Min = x
+		}
+		if x > st.Max {
+			st.Max = x
+		}
+	}
+	n := float64(st.N)
+	st.Mean = sum / n
+	variance := sumsq/n - st.Mean*st.Mean
+	if variance < 0 {
+		variance = 0
+	}
+	st.Std = math.Sqrt(variance)
+	return st
+}

@@ -1,0 +1,167 @@
+// Package table implements an in-memory columnar relational table engine.
+//
+// It is the "manual table handling" substrate for ChARLES: Go has no
+// dataframe ecosystem, so snapshots of evolving relational data are
+// represented here as typed, columnar tables with a primary-key index.
+// The package supports schema definition, typed columns with nulls,
+// row-level access, projection, selection, sorting, per-column statistics,
+// and structural/semantic equality — everything the diff and search layers
+// need, with no external dependencies.
+package table
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Type identifies the dynamic type of a column or value.
+type Type int
+
+// The supported column types. Numeric computations treat Int columns as
+// float64-convertible; Bool and String columns are categorical.
+const (
+	Float Type = iota
+	Int
+	String
+	Bool
+)
+
+// String returns the lowercase name of the type.
+func (t Type) String() string {
+	switch t {
+	case Float:
+		return "float"
+	case Int:
+		return "int"
+	case String:
+		return "string"
+	case Bool:
+		return "bool"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Numeric reports whether values of this type can be used as regression
+// features or targets.
+func (t Type) Numeric() bool { return t == Float || t == Int }
+
+// Value is a dynamically typed cell value. The zero Value is a null Float.
+type Value struct {
+	typ  Type
+	f    float64
+	i    int64
+	s    string
+	b    bool
+	null bool
+}
+
+// F returns a float Value.
+func F(x float64) Value { return Value{typ: Float, f: x} }
+
+// I returns an int Value.
+func I(x int64) Value { return Value{typ: Int, i: x} }
+
+// S returns a string Value.
+func S(x string) Value { return Value{typ: String, s: x} }
+
+// B returns a bool Value.
+func B(x bool) Value { return Value{typ: Bool, b: x} }
+
+// Null returns a null Value of the given type.
+func Null(t Type) Value { return Value{typ: t, null: true} }
+
+// Type returns the value's type tag.
+func (v Value) Type() Type { return v.typ }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.null }
+
+// Float returns the numeric value as float64. Int values convert; null and
+// non-numeric values return NaN.
+func (v Value) Float() float64 {
+	if v.null {
+		return math.NaN()
+	}
+	switch v.typ {
+	case Float:
+		return v.f
+	case Int:
+		return float64(v.i)
+	default:
+		return math.NaN()
+	}
+}
+
+// Int returns the integer value. Float values truncate; others return 0.
+func (v Value) Int() int64 {
+	if v.null {
+		return 0
+	}
+	switch v.typ {
+	case Int:
+		return v.i
+	case Float:
+		return int64(v.f)
+	default:
+		return 0
+	}
+}
+
+// Str returns the string payload for String values, and a formatted
+// representation for other types (used for categorical handling and keys).
+func (v Value) Str() string {
+	if v.null {
+		return ""
+	}
+	switch v.typ {
+	case String:
+		return v.s
+	case Bool:
+		return strconv.FormatBool(v.b)
+	case Int:
+		return strconv.FormatInt(v.i, 10)
+	case Float:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	default:
+		return ""
+	}
+}
+
+// Bool returns the boolean payload (false for non-Bool or null values).
+func (v Value) Bool() bool {
+	if v.null || v.typ != Bool {
+		return false
+	}
+	return v.b
+}
+
+// Equal reports semantic equality: same type class (numeric types compare by
+// value, so I(2) equals F(2)), same nullness, same payload.
+func (v Value) Equal(o Value) bool {
+	if v.null || o.null {
+		return v.null == o.null
+	}
+	if v.typ.Numeric() && o.typ.Numeric() {
+		return v.Float() == o.Float()
+	}
+	if v.typ != o.typ {
+		return false
+	}
+	switch v.typ {
+	case String:
+		return v.s == o.s
+	case Bool:
+		return v.b == o.b
+	}
+	return false
+}
+
+// String renders the value for display.
+func (v Value) String() string {
+	if v.null {
+		return "NULL"
+	}
+	return v.Str()
+}

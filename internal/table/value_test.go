@@ -1,0 +1,110 @@
+package table
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	cases := []struct {
+		v       Value
+		typ     Type
+		f       float64
+		i       int64
+		s       string
+		b       bool
+		null    bool
+		display string
+	}{
+		{F(2.5), Float, 2.5, 2, "2.5", false, false, "2.5"},
+		{I(42), Int, 42, 42, "42", false, false, "42"},
+		{S("abc"), String, math.NaN(), 0, "abc", false, false, "abc"},
+		{B(true), Bool, math.NaN(), 0, "true", true, false, "true"},
+		{Null(Float), Float, math.NaN(), 0, "", false, true, "NULL"},
+		{Null(String), String, math.NaN(), 0, "", false, true, "NULL"},
+	}
+	for _, c := range cases {
+		if c.v.Type() != c.typ {
+			t.Errorf("%v: Type() = %v, want %v", c.v, c.v.Type(), c.typ)
+		}
+		if got := c.v.Float(); !(math.IsNaN(got) && math.IsNaN(c.f)) && got != c.f {
+			t.Errorf("%v: Float() = %v, want %v", c.v, got, c.f)
+		}
+		if got := c.v.Int(); got != c.i {
+			t.Errorf("%v: Int() = %v, want %v", c.v, got, c.i)
+		}
+		if got := c.v.Str(); got != c.s {
+			t.Errorf("%v: Str() = %q, want %q", c.v, got, c.s)
+		}
+		if got := c.v.Bool(); got != c.b {
+			t.Errorf("%v: Bool() = %v, want %v", c.v, got, c.b)
+		}
+		if got := c.v.IsNull(); got != c.null {
+			t.Errorf("%v: IsNull() = %v, want %v", c.v, got, c.null)
+		}
+		if got := c.v.String(); got != c.display {
+			t.Errorf("String() = %q, want %q", got, c.display)
+		}
+	}
+}
+
+func TestValueEqualNumericCrossType(t *testing.T) {
+	if !I(2).Equal(F(2)) {
+		t.Error("I(2) should equal F(2)")
+	}
+	if !F(2).Equal(I(2)) {
+		t.Error("F(2) should equal I(2)")
+	}
+	if I(2).Equal(F(2.5)) {
+		t.Error("I(2) should not equal F(2.5)")
+	}
+}
+
+func TestValueEqualNulls(t *testing.T) {
+	if !Null(Float).Equal(Null(String)) {
+		t.Error("nulls of any type compare equal")
+	}
+	if Null(Float).Equal(F(0)) {
+		t.Error("null should not equal zero")
+	}
+	if F(0).Equal(Null(Float)) {
+		t.Error("zero should not equal null")
+	}
+}
+
+func TestValueEqualStringsAndBools(t *testing.T) {
+	if !S("x").Equal(S("x")) || S("x").Equal(S("y")) {
+		t.Error("string equality broken")
+	}
+	if !B(true).Equal(B(true)) || B(true).Equal(B(false)) {
+		t.Error("bool equality broken")
+	}
+	if S("true").Equal(B(true)) {
+		t.Error("string and bool must not compare equal")
+	}
+}
+
+func TestValueEqualReflexiveProperty(t *testing.T) {
+	f := func(x float64, n int64, s string, b bool) bool {
+		if math.IsNaN(x) {
+			return true // NaN != NaN by design, like SQL floats
+		}
+		return F(x).Equal(F(x)) && I(n).Equal(I(n)) && S(s).Equal(S(s)) && B(b).Equal(B(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	want := map[Type]string{Float: "float", Int: "int", String: "string", Bool: "bool"}
+	for typ, s := range want {
+		if typ.String() != s {
+			t.Errorf("Type(%d).String() = %q, want %q", typ, typ.String(), s)
+		}
+	}
+	if !Float.Numeric() || !Int.Numeric() || String.Numeric() || Bool.Numeric() {
+		t.Error("Numeric() classification wrong")
+	}
+}

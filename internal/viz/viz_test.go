@@ -1,0 +1,96 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"charles/internal/model"
+	"charles/internal/predicate"
+	"charles/internal/score"
+)
+
+func sampleSummary() *model.Summary {
+	return &model.Summary{
+		Target: "bonus",
+		CTs: []model.CT{
+			{
+				Cond:     predicate.Predicate{Atoms: []predicate.Atom{predicate.StrAtom("edu", predicate.Eq, "PhD")}},
+				Tran:     model.Transformation{Target: "bonus", Inputs: []string{"bonus"}, Coef: []float64{1.05}, Intercept: 1000},
+				Rows:     3,
+				Coverage: 1.0 / 3,
+				MAE:      0,
+			},
+			{
+				Cond:     predicate.Predicate{Atoms: []predicate.Atom{predicate.StrAtom("edu", predicate.Eq, "MS")}},
+				Tran:     model.Identity("bonus"),
+				Rows:     4,
+				Coverage: 4.0 / 9,
+			},
+		},
+	}
+}
+
+func TestTreemapContents(t *testing.T) {
+	out := Treemap(sampleSummary(), 45)
+	if !strings.Contains(out, "P1 33.3%") {
+		t.Errorf("first partition label missing:\n%s", out)
+	}
+	if !strings.Contains(out, "edu = PhD") || !strings.Contains(out, "1.05×bonus + 1000") {
+		t.Errorf("partition details missing:\n%s", out)
+	}
+	// Residual no-change partition: 1 − 1/3 − 4/9 = 2/9 ≈ 22.2%.
+	if !strings.Contains(out, "22.2%") {
+		t.Errorf("residual partition missing:\n%s", out)
+	}
+	// The identity CT and the residual are hatched; the active one is solid.
+	if !strings.Contains(out, "█") || !strings.Contains(out, "░") {
+		t.Errorf("fill characters missing:\n%s", out)
+	}
+}
+
+func TestTreemapBarWidthsProportional(t *testing.T) {
+	out := Treemap(sampleSummary(), 90)
+	lines := strings.Split(out, "\n")
+	var w1, w2 int
+	for _, l := range lines {
+		if strings.HasPrefix(l, "P1") {
+			w1 = strings.Count(l, "█")
+		}
+		if strings.HasPrefix(l, "P2") {
+			w2 = strings.Count(l, "░")
+		}
+	}
+	if w1 == 0 || w2 == 0 {
+		t.Fatalf("bars not found:\n%s", out)
+	}
+	// P2 covers 4/9 > P1's 1/3.
+	if w2 <= w1 {
+		t.Errorf("bar widths not proportional: P1=%d, P2=%d", w1, w2)
+	}
+}
+
+func TestTreemapMinWidthAndTinyPartitions(t *testing.T) {
+	s := &model.Summary{Target: "x", CTs: []model.CT{{
+		Cond:     predicate.True(),
+		Tran:     model.Transformation{Target: "x", Inputs: []string{"x"}, Coef: []float64{2}},
+		Coverage: 0.001,
+	}}}
+	out := Treemap(s, 5) // clamped to 20
+	if !strings.Contains(out, "█") {
+		t.Errorf("tiny partition should still render one cell:\n%s", out)
+	}
+}
+
+func TestSummaryCard(t *testing.T) {
+	bd := &score.Breakdown{Score: 0.89, Accuracy: 0.99, Interpretability: 0.79}
+	out := SummaryCard(1, sampleSummary(), bd)
+	for _, want := range []string{"#1", "score 89.0%", "accuracy 99.0%", "interpretability 79.0%", "edu = PhD"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("card missing %q:\n%s", want, out)
+		}
+	}
+	empty := SummaryCard(2, &model.Summary{Target: "x"}, bd)
+	if !strings.Contains(empty, "(no change)") {
+		t.Errorf("empty summary card:\n%s", empty)
+	}
+}

@@ -1,0 +1,33 @@
+package charles
+
+import (
+	"strings"
+
+	"charles/internal/lmtree"
+	"charles/internal/viz"
+)
+
+// RenderTree draws a summary as an ASCII linear model tree (the paper's
+// Figure 2): conditions at internal nodes, transformations at leaves, with
+// a final "(no change)" leaf for the uncovered partition.
+func RenderTree(s *Summary) string {
+	return lmtree.FromSummary(s).Render()
+}
+
+// RenderTreemap draws the partition treemap of demo step 10: one bar per
+// CT, width proportional to data coverage, hatched for no-change
+// partitions, annotated with condition, transformation, and accuracy.
+func RenderTreemap(s *Summary, width int) string {
+	return viz.Treemap(s, width)
+}
+
+// RenderRanked renders a ranked summary list as the demo's step-8 result
+// panel: per summary, the blended score with its accuracy and
+// interpretability components, then one line per CT.
+func RenderRanked(items []Ranked) string {
+	var b strings.Builder
+	for i, it := range items {
+		b.WriteString(viz.SummaryCard(i+1, it.Summary, it.Breakdown))
+	}
+	return b.String()
+}

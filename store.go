@@ -1,0 +1,43 @@
+package charles
+
+import (
+	"charles/internal/predicate"
+	"charles/internal/store"
+)
+
+// VersionStore is a bolt-on lineage of table snapshots (OrpheusDB-style):
+// commit versions, walk history, and summarize the change between any two
+// of them. See OpenStore.
+type VersionStore = store.Store
+
+// Version describes one committed snapshot in a VersionStore.
+type Version = store.Version
+
+// OpenStore opens (or creates) a snapshot version store. With a non-empty
+// directory versions persist across processes; with "" the store is
+// memory-only.
+func OpenStore(dir string) (*VersionStore, error) { return store.Open(dir) }
+
+// Predicate is a conjunctive condition over table attributes — the
+// condition half of a CT, also usable standalone for filtering.
+type Predicate = predicate.Predicate
+
+// ParseCondition parses a textual condition ("edu = PhD && exp >= 3")
+// against a table's schema into a Predicate. The grammar matches what the
+// engine itself prints: conjunctions of =, !=, <, >=, and in(...) atoms.
+func ParseCondition(input string, schema *Table) (Predicate, error) {
+	return predicate.Parse(input, schema)
+}
+
+// FilterTable returns the rows of t matching a textual condition.
+func FilterTable(t *Table, condition string) (*Table, error) {
+	p, err := predicate.Parse(condition, t)
+	if err != nil {
+		return nil, err
+	}
+	mask, err := p.Mask(t)
+	if err != nil {
+		return nil, err
+	}
+	return t.Filter(mask)
+}
