@@ -126,6 +126,16 @@ func SummarizeAligned(a *Aligned, opts Options) ([]Ranked, error) {
 	return core.SummarizeAligned(a, opts)
 }
 
+// Evaluate scores one summary against the actual evolved target values
+// (aligned to source row order) — the row-at-a-time reference path. The
+// engine itself scores candidates through score.Evaluator, a reusable
+// vectorized equivalent that produces identical breakdowns; this entry
+// point exists for callers scoring externally supplied summaries and for
+// differential testing.
+func Evaluate(s *Summary, src *Table, actual []float64, changed []bool, alpha float64, w Weights) (*Breakdown, error) {
+	return score.Evaluate(s, src, actual, changed, alpha, w)
+}
+
 // SuggestAttributes runs the setup assistant: it ranks candidate condition
 // attributes (by association with the observed change) and transformation
 // attributes (numeric, by correlation with the new target value).

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"charles"
+)
+
+// BenchResult is one measured micro-benchmark.
+type BenchResult struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	N           int   `json:"n"` // iterations measured
+}
+
+// BaselineFile is the schema of BENCH_baseline.json: the pre-change numbers
+// of the PR that introduced the vectorized evaluation layer (kept for the
+// record) and the most recent measurement.
+type BaselineFile struct {
+	Recorded  string                 `json:"recorded"`
+	Go        string                 `json:"go"`
+	Note      string                 `json:"note,omitempty"`
+	PreChange map[string]BenchResult `json:"pre_change,omitempty"`
+	Current   map[string]BenchResult `json:"current"`
+}
+
+// writeBaseline measures the engine micro-benchmarks and writes (or
+// updates) the baseline file, preserving an existing pre_change section.
+func writeBaseline(path string) error {
+	// Fail on an unwritable destination before spending ~30s measuring.
+	probe, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	probe.Close()
+	out := BaselineFile{
+		Recorded: time.Now().UTC().Format("2006-01-02"),
+		Go:       runtime.Version(),
+		Current:  map[string]BenchResult{},
+	}
+	if prev, err := os.ReadFile(path); err == nil {
+		var old BaselineFile
+		if err := json.Unmarshal(prev, &old); err == nil {
+			out.PreChange = old.PreChange
+			out.Note = old.Note
+		}
+	}
+
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"Summarize2k", benchSummarize2k},
+		{"SummarizeToy", benchSummarizeToy},
+		{"Align5k", benchAlign5k},
+	}
+	for _, bench := range benches {
+		fmt.Fprintf(os.Stderr, "measuring %s...\n", bench.name)
+		r := testing.Benchmark(bench.fn)
+		out.Current[bench.name] = BenchResult{
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// benchSummarize2k mirrors BenchmarkSummarize2k: the 2 000-row planted
+// dataset with fixed attribute pools — the per-candidate cost driver.
+func benchSummarize2k(b *testing.B) {
+	d, err := charles.PlantedDataset(charles.PlantedConfig{N: 2000, Seed: 13, Rules: 3, RuleDepth: 2, UnchangedFrac: 0.3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := charles.DefaultOptions(d.Target)
+	opts.CondAttrs = d.CondAttrs
+	opts.TranAttrs = d.TranAttrs
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := charles.Summarize(d.Src, d.Tgt, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSummarizeToy mirrors BenchmarkSummarizeToy: the 9-row demo latency.
+func benchSummarizeToy(b *testing.B) {
+	src, tgt := charles.ToyDataset()
+	opts := charles.DefaultOptions("bonus")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := charles.Summarize(src, tgt, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchAlign5k mirrors BenchmarkAlign: key indexing + row matching alone.
+func benchAlign5k(b *testing.B) {
+	d, err := charles.MontgomeryDataset(7, 5000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := charles.Align(d.Src, d.Tgt.Clone()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

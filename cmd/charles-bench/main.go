@@ -5,9 +5,19 @@
 //
 // Usage:
 //
-//	charles-bench            # run everything at paper scale
-//	charles-bench -quick     # small sizes (seconds)
-//	charles-bench -run E6    # one experiment
+//	charles-bench                          # run everything at paper scale
+//	charles-bench -quick                   # small sizes (seconds)
+//	charles-bench -run E6                  # one experiment
+//	charles-bench -baseline BENCH_baseline.json
+//	                                       # measure the engine micro-
+//	                                       # benchmarks and record ns/op,
+//	                                       # allocs/op, bytes/op as JSON
+//
+// -baseline re-measures the hot-path micro-benchmarks (Summarize on the
+// 2k planted dataset, the toy dataset, and snapshot alignment) with
+// testing.Benchmark and writes them under "current" in the named JSON file,
+// preserving any existing "pre_change" section — that is how the perf
+// trajectory across PRs is recorded.
 package main
 
 import (
@@ -20,11 +30,19 @@ import (
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "shrink data sizes so the suite runs in seconds")
-		run   = flag.String("run", "", "run only the experiment with this id (e.g. E6)")
+		quick    = flag.Bool("quick", false, "shrink data sizes so the suite runs in seconds")
+		run      = flag.String("run", "", "run only the experiment with this id (e.g. E6)")
+		baseline = flag.String("baseline", "", "measure engine micro-benchmarks and write them to this JSON file")
 	)
 	flag.Parse()
 	cfg := experiments.Config{Quick: *quick}
+
+	if *baseline != "" {
+		if err := writeBaseline(*baseline); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *run != "" {
 		rep, err := experiments.Run(*run, cfg)

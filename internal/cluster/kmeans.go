@@ -73,14 +73,155 @@ func KMeans(points [][]float64, k int, opts Options) (*Result, error) {
 	return best, nil
 }
 
-// KMeans1D clusters scalar values; a convenience wrapper around KMeans that
-// is what the ChARLES residual-clustering step calls.
+// KMeans1D clusters scalar values — the shape the ChARLES residual-
+// clustering step calls in its inner loop. It is a dedicated scalar
+// implementation rather than a boxing wrapper around KMeans: the engine
+// runs it once per (T, k) candidate, and allocating one []float64 per point
+// dominated the whole pipeline's allocation profile. The arithmetic mirrors
+// runLloyd/seedPlusPlus exactly (same RNG consumption, same operation
+// order), so results are bit-identical to the boxed path.
 func KMeans1D(values []float64, k int, opts Options) (*Result, error) {
-	pts := make([][]float64, len(values))
-	for i, v := range values {
-		pts[i] = []float64{v}
+	n := len(values)
+	if k <= 0 {
+		return nil, fmt.Errorf("cluster: k must be positive, got %d", k)
 	}
-	return KMeans(pts, k, opts)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: no points")
+	}
+	if k > n {
+		k = n
+	}
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	var best *Result
+	for r := 0; r < opts.Restarts; r++ {
+		res := runLloyd1D(values, k, opts.MaxIters, rng)
+		if best == nil || res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	relabelBySize(best)
+	return best, nil
+}
+
+func runLloyd1D(values []float64, k, maxIters int, rng *rand.Rand) *Result {
+	n := len(values)
+	centers := seedPlusPlus1D(values, k, rng)
+	labels := make([]int, n)
+	sizes := make([]int, k)
+	res := &Result{K: k}
+	for iter := 0; iter < maxIters; iter++ {
+		changed := false
+		for i, v := range values {
+			bi, bd := 0, math.Inf(1)
+			for c := range centers {
+				dd := sq(v - centers[c])
+				if dd < bd {
+					bi, bd = c, dd
+				}
+			}
+			if labels[i] != bi {
+				labels[i] = bi
+				changed = true
+			}
+		}
+		if iter > 0 && !changed {
+			res.Converged = true
+			res.Iters = iter
+			break
+		}
+		for c := range centers {
+			centers[c] = 0
+			sizes[c] = 0
+		}
+		for i, v := range values {
+			c := labels[i]
+			sizes[c]++
+			centers[c] += v
+		}
+		for c := range centers {
+			if sizes[c] == 0 {
+				fi, fd := 0, -1.0
+				for i, v := range values {
+					dd := sq(v - centers[labels[i]])
+					if dd > fd {
+						fi, fd = i, dd
+					}
+				}
+				centers[c] = values[fi]
+				continue
+			}
+			inv := 1 / float64(sizes[c])
+			centers[c] *= inv
+		}
+		res.Iters = iter + 1
+	}
+	inertia := 0.0
+	for c := range sizes {
+		sizes[c] = 0
+	}
+	for i, v := range values {
+		bi, bd := 0, math.Inf(1)
+		for c := range centers {
+			dd := sq(v - centers[c])
+			if dd < bd {
+				bi, bd = c, dd
+			}
+		}
+		labels[i] = bi
+		sizes[bi]++
+		inertia += bd
+	}
+	res.Labels = labels
+	res.Sizes = sizes
+	res.Inertia = inertia
+	res.Centers = make([][]float64, k)
+	for c, v := range centers {
+		res.Centers[c] = []float64{v}
+	}
+	return res
+}
+
+// sq mirrors sqDist for d = 1 (0 + d·d, the identical float sequence).
+func sq(d float64) float64 { return d * d }
+
+// seedPlusPlus1D mirrors seedPlusPlus on scalars with the same RNG calls.
+func seedPlusPlus1D(values []float64, k int, rng *rand.Rand) []float64 {
+	n := len(values)
+	centers := make([]float64, 0, k)
+	centers = append(centers, values[rng.Intn(n)])
+	dist := make([]float64, n)
+	for len(centers) < k {
+		total := 0.0
+		for i, v := range values {
+			dd := math.Inf(1)
+			for _, c := range centers {
+				if d := sq(v - c); d < dd {
+					dd = d
+				}
+			}
+			dist[i] = dd
+			total += dd
+		}
+		var chosen int
+		if total == 0 {
+			chosen = rng.Intn(n)
+		} else {
+			target := rng.Float64() * total
+			acc := 0.0
+			chosen = n - 1
+			for i, dd := range dist {
+				acc += dd
+				if acc >= target {
+					chosen = i
+					break
+				}
+			}
+		}
+		centers = append(centers, values[chosen])
+	}
+	return centers
 }
 
 func runLloyd(points [][]float64, k, maxIters int, rng *rand.Rand) *Result {

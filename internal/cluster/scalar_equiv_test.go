@@ -1,0 +1,42 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestScalarMatchesBoxed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(300)
+		vals := make([]float64, n)
+		pts := make([][]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * 100
+			pts[i] = []float64{vals[i]}
+		}
+		k := 1 + rng.Intn(5)
+		opts := Options{Seed: int64(trial)}
+		a, err := KMeans1D(vals, k, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := KMeans(pts, k, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Inertia != b.Inertia || a.K != b.K || a.Iters != b.Iters || a.Converged != b.Converged {
+			t.Fatalf("trial %d: scalar %+v vs boxed %+v", trial, a, b)
+		}
+		for i := range a.Labels {
+			if a.Labels[i] != b.Labels[i] {
+				t.Fatalf("trial %d: label %d differs", trial, i)
+			}
+		}
+		for c := range a.Centers {
+			if a.Centers[c][0] != b.Centers[c][0] {
+				t.Fatalf("trial %d: center %d differs", trial, c)
+			}
+		}
+	}
+}

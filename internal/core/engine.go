@@ -53,6 +53,11 @@ type engine struct {
 
 	changedRows []int // rows with a changed, finite target
 	minLeaf     int
+
+	// Shared per-run acceleration structures (immutable / internally
+	// synchronized, so workers use them concurrently):
+	pcache *predicate.Cache // compiled atom bitmaps, one per distinct atom
+	dindex *dtree.Index     // precomputed split candidates per cond attribute
 }
 
 func newEngine(a *diff.Aligned, opts Options) (*engine, error) {
@@ -105,6 +110,16 @@ func newEngine(a *diff.Aligned, opts Options) (*engine, error) {
 			e.minLeaf = ml
 		}
 	}
+
+	// Per-run acceleration: every distinct condition atom is materialized
+	// as a bitmap exactly once, and split candidates (sorted numeric
+	// distincts, category dictionaries) are derived once instead of per
+	// (C, T, k) candidate.
+	e.pcache = predicate.NewCache(a.Source)
+	e.dindex, err = dtree.NewIndex(a.Source, e.condAttrs)
+	if err != nil {
+		return nil, err
+	}
 	return e, nil
 }
 
@@ -141,22 +156,36 @@ func (e *engine) run() ([]Ranked, error) {
 	}
 	jobs := make(chan []model.Feature)
 	results := make(chan unit)
+	done := make(chan struct{}) // closed on first worker error: stop feeding
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		// Each worker owns one Evaluator (scratch buffers are per-worker;
+		// the compiled-atom cache is shared across all of them).
+		ev, err := score.NewEvaluator(e.a.Source, e.newVals, e.changed, e.opts.Alpha, e.opts.Weights)
+		if err != nil {
+			return nil, err
+		}
+		ev.SetCache(e.pcache)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for T := range jobs {
-				ranked, err := e.evalFeatureSet(T, condSubsets)
+				ranked, err := e.evalFeatureSet(T, condSubsets, ev)
 				results <- unit{ranked: ranked, err: err}
 			}
 		}()
 	}
 	go func() {
+		defer close(jobs)
 		for _, T := range tranSubsets {
-			jobs <- T
+			select {
+			case jobs <- T:
+			case <-done:
+				return // a worker failed; don't evaluate the remaining subsets
+			}
 		}
-		close(jobs)
+	}()
+	go func() {
 		wg.Wait()
 		close(results)
 	}()
@@ -166,6 +195,7 @@ func (e *engine) run() ([]Ranked, error) {
 	for u := range results {
 		if u.err != nil && firstErr == nil {
 			firstErr = u.err
+			close(done)
 		}
 		for _, r := range u.ranked {
 			fp := r.Summary.Fingerprint()
@@ -203,27 +233,126 @@ func (e *engine) run() ([]Ranked, error) {
 }
 
 // evalFeatureSet evaluates every (C, k) candidate for one transformation
-// feature subset and returns the scored summaries.
-func (e *engine) evalFeatureSet(T []model.Feature, condSubsets [][]string) ([]Ranked, error) {
-	feats, featOK := e.featureMatrix(T)
+// feature subset and returns the scored summaries. Everything that does not
+// depend on the condition subset is hoisted: the usable rows, the global
+// fit, and the clustering signal are computed once per T, and the partition
+// labels once per (T, k) — the historical code re-derived all of it for
+// every condition subset.
+func (e *engine) evalFeatureSet(T []model.Feature, condSubsets [][]string, ev *score.Evaluator) ([]Ranked, error) {
+	fm, err := e.featureMatrix(T)
+	if err != nil {
+		return nil, err
+	}
+	// Usable changed rows for this T.
+	rows := make([]int, 0, len(e.changedRows))
+	for _, r := range e.changedRows {
+		if fm.ok[r] {
+			rows = append(rows, r)
+		}
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	global := e.globalFit(rows, fm)
+	signal := e.signal(rows, fm, global)
+
+	// Partition labels depend on (T, k) only; memoized lazily so the
+	// emission order (C outer, k inner) matches the historical stream.
+	labelsByK := make([][]int, e.opts.KMax+1)
+
 	var out []Ranked
 	for _, C := range condSubsets {
 		for k := 1; k <= e.opts.KMax; k++ {
-			sum, err := e.candidate(C, T, k, feats, featOK)
+			if k > len(rows) {
+				continue
+			}
+			labels := labelsByK[k]
+			if labels == nil {
+				labels, err = e.partitionLabels(signal, rows, fm, k)
+				if err != nil {
+					return nil, err
+				}
+				labelsByK[k] = labels
+			}
+			sum, err := e.candidate(C, T, k, fm, labels)
 			if err != nil {
 				return nil, err
 			}
 			if sum == nil {
 				continue
 			}
-			bd, err := score.Evaluate(sum, e.a.Source, e.newVals, e.changed, e.opts.Alpha, e.opts.Weights)
+			bd, err := ev.Evaluate(sum)
 			if err != nil {
 				return nil, err
 			}
-			out = append(out, Ranked{Summary: sum, Breakdown: bd})
+			out = append(out, Ranked{Summary: sum, Breakdown: &bd})
 		}
 	}
 	return out, nil
+}
+
+// globalFit fits one model over all usable changed rows (per T; the
+// residual-clustering seed). nil when the rows cannot support the fit — the
+// signal falls back to shift residuals.
+func (e *engine) globalFit(rows []int, fm *featMat) *regress.Model {
+	gx := make([][]float64, len(rows))
+	gy := make([]float64, len(rows))
+	for i, r := range rows {
+		gx[i] = fm.row(r)
+		gy[i] = e.newVals[r]
+	}
+	global, err := regress.Fit(gx, gy, regress.DefaultOptions())
+	if err != nil {
+		return nil
+	}
+	return global
+}
+
+// signal builds the 1-D change signal that seeds partitioning. The default
+// is the paper's residual-from-global-fit; Delta and Ratio exist for the
+// ablation study.
+func (e *engine) signal(rows []int, fm *featMat, global *regress.Model) []float64 {
+	signal := make([]float64, len(rows))
+	for i, r := range rows {
+		switch e.opts.Strategy {
+		case DeltaKMeans:
+			signal[i] = e.newVals[r] - e.oldVals[r]
+		case RatioKMeans:
+			if e.oldVals[r] != 0 {
+				signal[i] = e.newVals[r] / e.oldVals[r]
+			} else {
+				signal[i] = 0
+			}
+		default: // ResidualKMeans
+			if global != nil {
+				signal[i] = e.newVals[r] - global.Predict(fm.row(r))
+			} else {
+				signal[i] = e.newVals[r] - e.oldVals[r]
+			}
+		}
+	}
+	return signal
+}
+
+// partitionLabels clusters the signal into k groups (seed + EM-style
+// refinement; see seedAndRefine) and expands the result to a full per-row
+// labeling: changed rows carry their cluster id, all other rows the
+// "unchanged" class k, so the condition tree learns to separate them.
+func (e *engine) partitionLabels(signal []float64, rows []int, fm *featMat, k int) ([]int, error) {
+	clusterLabels, err := seedAndRefine(signal, rows, fm, e.newVals, k, e.opts.Seed, e.opts.NoRefine)
+	if err != nil {
+		return nil, err
+	}
+	n := e.a.Source.NumRows()
+	labels := make([]int, n)
+	unchangedLabel := k
+	for r := 0; r < n; r++ {
+		labels[r] = unchangedLabel
+	}
+	for i, r := range rows {
+		labels[r] = clusterLabels[i]
+	}
+	return labels, nil
 }
 
 // featureSubsets enumerates the transformation feature sets to try: all
@@ -302,107 +431,54 @@ func (e *engine) allPositive(attr string) bool {
 	return true
 }
 
-// featureMatrix evaluates the feature subset T over the source snapshot,
-// plus a per-row finiteness mask.
-func (e *engine) featureMatrix(T []model.Feature) ([][]float64, []bool) {
+// featMat is the feature matrix of one transformation subset T: a single
+// flat row-major buffer (one allocation instead of one per row) plus a
+// per-row finiteness mask. Row vectors are subslices, so downstream fitting
+// code consumes them with zero copies.
+type featMat struct {
+	vals []float64 // NumRows × w, row-major
+	w    int       // len(T)
+	ok   []bool    // per-row: every feature finite
+}
+
+// row returns the feature vector of row r as a view into the flat buffer.
+func (m *featMat) row(r int) []float64 { return m.vals[r*m.w : (r+1)*m.w] }
+
+// featureMatrix evaluates the feature subset T over the source snapshot.
+// Features are column-bound once (no per-row column lookups).
+func (e *engine) featureMatrix(T []model.Feature) (*featMat, error) {
 	n := e.a.Source.NumRows()
-	feats := make([][]float64, n)
-	ok := make([]bool, n)
+	m := &featMat{vals: make([]float64, n*len(T)), w: len(T), ok: make([]bool, n)}
+	bound := make([]model.BoundFeature, len(T))
+	for j, f := range T {
+		bf, err := f.Bind(e.a.Source)
+		if err != nil {
+			return nil, err
+		}
+		bound[j] = bf
+	}
 	for r := 0; r < n; r++ {
-		row := make([]float64, len(T))
+		row := m.row(r)
 		good := true
-		for j, f := range T {
-			v, err := f.Eval(e.a.Source, r)
-			if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		for j := range bound {
+			v := bound[j].At(r)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
 				good = false
 				v = math.NaN()
 			}
 			row[j] = v
 		}
-		feats[r] = row
-		ok[r] = good
+		m.ok[r] = good
 	}
-	return feats, ok
+	return m, nil
 }
 
 // candidate builds one summary for the attribute subsets (C, T) and cluster
-// count k: global fit → residual k-means → condition induction →
-// per-partition refit → snap. Returns nil when the combination is
-// infeasible (e.g. not enough usable rows).
-func (e *engine) candidate(C []string, T []model.Feature, k int, feats [][]float64, featOK []bool) (*model.Summary, error) {
-	// Usable changed rows for this T.
-	var rows []int
-	for _, r := range e.changedRows {
-		if featOK[r] {
-			rows = append(rows, r)
-		}
-	}
-	if len(rows) == 0 {
-		return nil, nil
-	}
-	if k > len(rows) {
-		return nil, nil
-	}
-
-	// (a) Global fit over the changed rows.
-	gx := make([][]float64, len(rows))
-	gy := make([]float64, len(rows))
-	for i, r := range rows {
-		gx[i] = feats[r]
-		gy[i] = e.newVals[r]
-	}
-	global, err := regress.Fit(gx, gy, regress.DefaultOptions())
-	if err != nil {
-		// Too few rows for this feature set — fall back to shift residuals.
-		global = nil
-	}
-
-	// (b) Partition seeding: cluster a 1-D change signal. The default is
-	// the paper's residual-from-global-fit; Delta and Ratio exist for the
-	// ablation study.
-	signal := make([]float64, len(rows))
-	for i, r := range rows {
-		switch e.opts.Strategy {
-		case DeltaKMeans:
-			signal[i] = e.newVals[r] - e.oldVals[r]
-		case RatioKMeans:
-			if e.oldVals[r] != 0 {
-				signal[i] = e.newVals[r] / e.oldVals[r]
-			} else {
-				signal[i] = 0
-			}
-		default: // ResidualKMeans
-			if global != nil {
-				signal[i] = e.newVals[r] - global.Predict(feats[r])
-			} else {
-				signal[i] = e.newVals[r] - e.oldVals[r]
-			}
-		}
-	}
-	// (b') Seed + EM-style refinement: 1-D clusters are only a seed — when
-	// the latent transformations differ in slope over a wide feature range,
-	// their signal distributions overlap. Alternate per-cluster regression
-	// fits with best-fit reassignment until stable (best of several
-	// seedings); this converges onto the true affine groups (cf. linear
-	// model trees / M5-style splitting).
-	clusterLabels, err := seedAndRefine(signal, rows, feats, e.newVals, k, e.opts.Seed, e.opts.NoRefine)
-	if err != nil {
-		return nil, err
-	}
-
-	// (c) Labels over all rows: cluster ids for changed rows; unchanged rows
-	// (and rows with unusable features) become their own class so the
-	// condition tree learns to separate them.
-	n := e.a.Source.NumRows()
-	labels := make([]int, n)
-	unchangedLabel := k
-	for r := 0; r < n; r++ {
-		labels[r] = unchangedLabel
-	}
-	for i, r := range rows {
-		labels[r] = clusterLabels[i]
-	}
-
+// count k: condition induction over the precomputed partition labels →
+// per-partition refit → snap. (The global fit, clustering signal, and
+// labels are hoisted into evalFeatureSet — they do not depend on C.)
+// Returns nil when the combination yields no explicit CTs.
+func (e *engine) candidate(C []string, T []model.Feature, k int, fm *featMat, labels []int) (*model.Summary, error) {
 	// Tree depth: a decision list needs up to k splits to carve k+1 classes
 	// out of one categorical attribute (the paper's c bounds *attributes*
 	// per condition, not atoms; simplifyPredicate collapses the ≠-chains
@@ -420,23 +496,24 @@ func (e *engine) candidate(C []string, T []model.Feature, k int, feats [][]float
 	tree, err := dtree.Build(e.a.Source, C, labels, nil, dtree.Options{
 		MaxDepth: maxAtoms,
 		MinLeaf:  e.minLeaf,
+		Index:    e.dindex,
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	// (d) Per-partition transformation discovery.
+	// Per-partition transformation discovery.
 	sum := &model.Summary{
 		Target:    e.opts.Target,
 		CondAttrs: append([]string(nil), C...),
 		TranAttrs: tranAttrNames(T),
 	}
 	for _, leaf := range tree.Leaves() {
-		pred, err := simplifyPredicate(leaf.Pred, e.a.Source)
+		pred, err := simplifyPredicate(leaf.Pred, e.a.Source, e.pcache)
 		if err != nil {
 			return nil, err
 		}
-		ct, err := e.fitPartition(pred, leaf.Rows, T, feats, featOK)
+		ct, err := e.fitPartition(pred, leaf.Rows, T, fm)
 		if err != nil {
 			return nil, err
 		}
@@ -451,21 +528,39 @@ func (e *engine) candidate(C []string, T []model.Feature, k int, feats [][]float
 	if len(sum.CTs) == 0 {
 		return nil, nil
 	}
-	// Present dominant partitions first (deterministic).
-	sort.SliceStable(sum.CTs, func(i, j int) bool {
-		if sum.CTs[i].Rows != sum.CTs[j].Rows {
-			return sum.CTs[i].Rows > sum.CTs[j].Rows
-		}
-		return sum.CTs[i].Cond.Fingerprint() < sum.CTs[j].Cond.Fingerprint()
-	})
+	// Present dominant partitions first (deterministic). Fingerprints are
+	// precomputed: the comparator would otherwise normalize both conditions
+	// on every comparison.
+	fps := make([]string, len(sum.CTs))
+	for i := range sum.CTs {
+		fps[i] = sum.CTs[i].Cond.Fingerprint()
+	}
+	sort.Stable(&ctsByDominance{cts: sum.CTs, fps: fps})
 	return sum, nil
+}
+
+type ctsByDominance struct {
+	cts []model.CT
+	fps []string
+}
+
+func (s *ctsByDominance) Len() int { return len(s.cts) }
+func (s *ctsByDominance) Less(i, j int) bool {
+	if s.cts[i].Rows != s.cts[j].Rows {
+		return s.cts[i].Rows > s.cts[j].Rows
+	}
+	return s.fps[i] < s.fps[j]
+}
+func (s *ctsByDominance) Swap(i, j int) {
+	s.cts[i], s.cts[j] = s.cts[j], s.cts[i]
+	s.fps[i], s.fps[j] = s.fps[j], s.fps[i]
 }
 
 // fitPartition turns one induced partition into a CT. Partitions dominated
 // by unchanged rows become "no change"; otherwise a linear model is fitted
 // on the changed rows, with graceful fallbacks for tiny partitions, then
 // snapped to normal constants.
-func (e *engine) fitPartition(pred predicate.Predicate, rows []int, T []model.Feature, feats [][]float64, featOK []bool) (*model.CT, error) {
+func (e *engine) fitPartition(pred predicate.Predicate, rows []int, T []model.Feature, fm *featMat) (*model.CT, error) {
 	if len(rows) == 0 {
 		return nil, nil
 	}
@@ -477,7 +572,7 @@ func (e *engine) fitPartition(pred predicate.Predicate, rows []int, T []model.Fe
 	}
 	var chRows []int
 	for _, r := range rows {
-		if e.changed[r] && featOK[r] {
+		if e.changed[r] && fm.ok[r] {
 			chRows = append(chRows, r)
 		}
 	}
@@ -495,7 +590,7 @@ func (e *engine) fitPartition(pred predicate.Predicate, rows []int, T []model.Fe
 	// legalize erasing whole rules).
 	deltaScale := 0.0
 	for i, r := range chRows {
-		x[i] = feats[r]
+		x[i] = fm.row(r)
 		y[i] = e.newVals[r]
 		deltaScale += math.Abs(e.newVals[r] - e.oldVals[r])
 	}

@@ -305,13 +305,14 @@ func TestRefineClustersConvergesToAffineGroups(t *testing.T) {
 	// range with crossing lines.
 	n := 200
 	rows := make([]int, n)
-	feats := make([][]float64, n)
+	fm := &featMat{vals: make([]float64, n), w: 1, ok: make([]bool, n)}
 	newVals := make([]float64, n)
 	truth := make([]int, n)
 	for i := 0; i < n; i++ {
 		rows[i] = i
 		x := float64(1000 + i*100)
-		feats[i] = []float64{x}
+		fm.vals[i] = x
+		fm.ok[i] = true
 		if i%2 == 0 {
 			newVals[i] = 1.02 * x
 			truth[i] = 0
@@ -329,7 +330,7 @@ func TestRefineClustersConvergesToAffineGroups(t *testing.T) {
 			labels[i] = 1
 		}
 	}
-	refined := refineClusters(labels, rows, feats, newVals, 2)
+	refined := refineClusters(labels, rows, fm, newVals, 2)
 	// All rows of one true group must share a label.
 	label0 := refined[0]
 	label1 := refined[1]

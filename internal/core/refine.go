@@ -21,7 +21,7 @@ const refineRestarts = 3
 // refines each EM-style, and returns the refined labeling with the lowest
 // total absolute fitting error (deterministic: ties keep the earliest
 // restart). This is the partition-discovery workhorse behind candidate().
-func seedAndRefine(signal []float64, rows []int, feats [][]float64, newVals []float64, k int, seed int64, noRefine bool) ([]int, error) {
+func seedAndRefine(signal []float64, rows []int, fm *featMat, newVals []float64, k int, seed int64, noRefine bool) ([]int, error) {
 	var bestLabels []int
 	bestErr := math.Inf(1)
 	for restart := 0; restart < refineRestarts; restart++ {
@@ -31,9 +31,9 @@ func seedAndRefine(signal []float64, rows []int, feats [][]float64, newVals []fl
 		}
 		labels := km.Labels
 		if !noRefine {
-			labels = refineClusters(km.Labels, rows, feats, newVals, k)
+			labels = refineClusters(km.Labels, rows, fm, newVals, k)
 		}
-		total := totalAbsError(labels, rows, feats, newVals, k)
+		total := totalAbsError(labels, rows, fm, newVals, k)
 		if total < bestErr-1e-9 {
 			bestLabels, bestErr = labels, total
 		}
@@ -45,15 +45,15 @@ func seedAndRefine(signal []float64, rows []int, feats [][]float64, newVals []fl
 }
 
 // totalAbsError sums each row's absolute error under its cluster's model.
-func totalAbsError(labels []int, rows []int, feats [][]float64, newVals []float64, k int) float64 {
-	models := fitClusterModels(labels, rows, feats, newVals, k)
+func totalAbsError(labels []int, rows []int, fm *featMat, newVals []float64, k int) float64 {
+	models := fitClusterModels(labels, rows, fm, newVals, k)
 	total := 0.0
 	for i, r := range rows {
 		m := models[labels[i]]
 		if m == nil {
 			continue
 		}
-		total += math.Abs(newVals[r] - m.Predict(feats[r]))
+		total += math.Abs(newVals[r] - m.Predict(fm.row(r)))
 	}
 	return total
 }
@@ -64,13 +64,13 @@ func totalAbsError(labels []int, rows []int, feats [][]float64, newVals []float6
 // cluster of rows[i]; feats and newVals are indexed by table row.
 // The refined labels (same indexing as labels) are returned; the input
 // slice is not modified.
-func refineClusters(labels []int, rows []int, feats [][]float64, newVals []float64, k int) []int {
+func refineClusters(labels []int, rows []int, fm *featMat, newVals []float64, k int) []int {
 	cur := append([]int(nil), labels...)
 	if k <= 1 || len(rows) <= 1 {
 		return cur
 	}
 	for iter := 0; iter < refineMaxIters; iter++ {
-		models := fitClusterModels(cur, rows, feats, newVals, k)
+		models := fitClusterModels(cur, rows, fm, newVals, k)
 		sizes := make([]int, k)
 		for _, l := range cur {
 			sizes[l]++
@@ -88,7 +88,7 @@ func refineClusters(labels []int, rows []int, feats [][]float64, newVals []float
 				if m == nil {
 					continue
 				}
-				err := math.Abs(newVals[r] - m.Predict(feats[r]))
+				err := math.Abs(newVals[r] - m.Predict(fm.row(r)))
 				switch {
 				case err < bestErr-eps:
 					bestC, bestErr = c, err
@@ -119,16 +119,23 @@ func refineClusters(labels []int, rows []int, feats [][]float64, newVals []float
 // fitClusterModels fits one model per cluster, with the same fallback
 // ladder the partition fitter uses; clusters that cannot support any fit
 // get nil (rows keep their previous assignment relative to them).
-func fitClusterModels(labels []int, rows []int, feats [][]float64, newVals []float64, k int) []*regress.Model {
+func fitClusterModels(labels []int, rows []int, fm *featMat, newVals []float64, k int) []*regress.Model {
 	models := make([]*regress.Model, k)
+	sizes := make([]int, k)
+	for _, l := range labels {
+		sizes[l]++
+	}
 	for c := 0; c < k; c++ {
-		var x [][]float64
-		var y []float64
+		if sizes[c] == 0 {
+			continue
+		}
+		x := make([][]float64, 0, sizes[c])
+		y := make([]float64, 0, sizes[c])
 		for i, r := range rows {
 			if labels[i] != c {
 				continue
 			}
-			x = append(x, feats[r])
+			x = append(x, fm.row(r))
 			y = append(y, newVals[r])
 		}
 		if len(y) == 0 {

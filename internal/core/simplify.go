@@ -20,37 +20,32 @@ import (
 // semantics on the observed data are unchanged while its interpretability
 // (fewer, positive descriptors) improves — exactly the paper's preference
 // for simpler conditions.
-func simplifyPredicate(p predicate.Predicate, t *table.Table) (predicate.Predicate, error) {
+//
+// Each atom's bitmap is fetched from the run's shared cache once per call;
+// every candidate test is then a few word-wise ANDs over those bitmaps
+// instead of a full table scan per atom.
+func simplifyPredicate(p predicate.Predicate, t *table.Table, pc *predicate.Cache) (predicate.Predicate, error) {
 	p = p.Normalize()
-	base, err := p.Mask(t)
-	if err != nil {
-		return p, err
+	atoms := append([]predicate.Atom(nil), p.Atoms...)
+	bits := make([]predicate.Bitset, len(atoms))
+	for i, a := range atoms {
+		bs, err := pc.AtomMask(a)
+		if err != nil {
+			return p, err
+		}
+		bits[i] = bs
 	}
+	n := pc.Rows()
+	base := andAll(bits, nil, n)
+	scratch := predicate.NewBitset(n)
 
 	// Pass 1: greedy redundant-atom elimination to a fixpoint.
-	for {
-		dropped := false
-		for i := range p.Atoms {
-			cand := predicate.Predicate{Atoms: removeAtom(p.Atoms, i)}
-			m, err := cand.Mask(t)
-			if err != nil {
-				return p, err
-			}
-			if maskEqual(m, base) {
-				p = cand
-				dropped = true
-				break
-			}
-		}
-		if !dropped {
-			break
-		}
-	}
+	atoms, bits = dropRedundantAtoms(atoms, bits, base, scratch, n)
 
 	// Pass 2: collapse ≠-chains into a positive equality. Attributes are
 	// visited in sorted order so the rewrite is deterministic.
 	neSet := map[string]bool{}
-	for _, a := range p.Atoms {
+	for _, a := range atoms {
 		if !a.Numeric && a.Op == predicate.Ne {
 			neSet[a.Attr] = true
 		}
@@ -63,76 +58,99 @@ func simplifyPredicate(p predicate.Predicate, t *table.Table) (predicate.Predica
 	for _, attr := range neAttrs {
 		col, err := t.Column(attr)
 		if err != nil {
-			return p, err
+			return predicate.Predicate{Atoms: atoms}, err
 		}
-		distinct := map[string]bool{}
-		for r, in := range base {
-			if in && !col.IsNull(r) {
-				distinct[col.Str(r)] = true
+		codes, dict := col.Codes()
+		// Distinct non-null values among the selected rows; the collapse
+		// applies only when exactly one remains.
+		only, unique, found := "", true, false
+		base.ForEach(func(r int) {
+			c := codes[r]
+			if c == table.NullCode {
+				return
 			}
-		}
-		if len(distinct) != 1 {
+			switch {
+			case !found:
+				found, only = true, dict[c]
+			case only != dict[c]:
+				unique = false
+			}
+		})
+		if !found || !unique {
 			continue
 		}
-		var only string
-		for v := range distinct {
-			only = v
-		}
-		var atoms []predicate.Atom
-		for _, a := range p.Atoms {
+		var keptAtoms []predicate.Atom
+		var keptBits []predicate.Bitset
+		for i, a := range atoms {
 			if !a.Numeric && a.Op == predicate.Ne && a.Attr == attr {
 				continue
 			}
-			atoms = append(atoms, a)
+			keptAtoms = append(keptAtoms, a)
+			keptBits = append(keptBits, bits[i])
 		}
-		atoms = append(atoms, predicate.StrAtom(attr, predicate.Eq, only))
-		cand := predicate.Predicate{Atoms: atoms}
-		m, err := cand.Mask(t)
+		eq := predicate.StrAtom(attr, predicate.Eq, only)
+		eqBits, err := pc.AtomMask(eq)
 		if err != nil {
-			return p, err
+			return predicate.Predicate{Atoms: atoms}, err
 		}
-		if maskEqual(m, base) {
-			p = cand
+		keptAtoms = append(keptAtoms, eq)
+		keptBits = append(keptBits, eqBits)
+		scratch = andAll(keptBits, scratch, n)
+		if scratch.Equal(base) {
+			atoms, bits = keptAtoms, keptBits
 		}
 	}
 
 	// Re-run atom elimination: the equality may subsume other atoms.
+	atoms, _ = dropRedundantAtoms(atoms, bits, base, scratch, n)
+	return predicate.Predicate{Atoms: atoms}.Normalize(), nil
+}
+
+// dropRedundantAtoms removes atoms whose absence leaves the selected row set
+// unchanged, to a fixpoint. atoms and bits stay aligned.
+func dropRedundantAtoms(atoms []predicate.Atom, bits []predicate.Bitset, base, scratch predicate.Bitset, n int) ([]predicate.Atom, []predicate.Bitset) {
 	for {
 		dropped := false
-		for i := range p.Atoms {
-			cand := predicate.Predicate{Atoms: removeAtom(p.Atoms, i)}
-			m, err := cand.Mask(t)
-			if err != nil {
-				return p, err
-			}
-			if maskEqual(m, base) {
-				p = cand
+		for i := range atoms {
+			scratch = andAllBut(bits, i, scratch, n)
+			if scratch.Equal(base) {
+				atoms = append(atoms[:i:i], atoms[i+1:]...)
+				bits = append(bits[:i:i], bits[i+1:]...)
 				dropped = true
 				break
 			}
 		}
 		if !dropped {
-			break
+			return atoms, bits
 		}
 	}
-	return p.Normalize(), nil
 }
 
-func removeAtom(atoms []predicate.Atom, i int) []predicate.Atom {
-	out := make([]predicate.Atom, 0, len(atoms)-1)
-	out = append(out, atoms[:i]...)
-	out = append(out, atoms[i+1:]...)
-	return out
+// andAll writes the intersection of all bitsets into dst (the empty
+// conjunction selects every row).
+func andAll(bits []predicate.Bitset, dst predicate.Bitset, n int) predicate.Bitset {
+	return andAllBut(bits, -1, dst, n)
 }
 
-func maskEqual(a, b []bool) bool {
-	if len(a) != len(b) {
-		return false
+// andAllBut is andAll excluding index skip.
+func andAllBut(bits []predicate.Bitset, skip int, dst predicate.Bitset, n int) predicate.Bitset {
+	if dst == nil {
+		dst = predicate.NewBitset(n)
 	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
+	first := true
+	for i, b := range bits {
+		if i == skip {
+			continue
+		}
+		if first {
+			dst.CopyFrom(b)
+			first = false
+		} else {
+			dst.And(b)
 		}
 	}
-	return true
+	if first {
+		dst.Fill(n)
+	}
+	return dst
 }

@@ -8,6 +8,12 @@
 // numeric attributes split on thresholds (attr < t) chosen at "nice" values
 // between adjacent distinct data points (25, not 23.796), supporting the
 // paper's normality preference.
+//
+// Callers building many trees over one table (the engine: one per
+// candidate summary) share an Index — per-attribute sorted values and
+// dictionary codes precomputed once — via Options.Index; split search then
+// scores candidates from label histograms instead of re-partitioning the
+// node's rows per candidate atom.
 package dtree
 
 import (
@@ -28,6 +34,11 @@ type Options struct {
 	MinLeaf int
 	// MinGain is the minimum Gini impurity decrease to accept a split.
 	MinGain float64
+	// Index is an optional precomputed split index covering the table and
+	// attributes (see NewIndex). Callers that Build many trees over one
+	// table — the engine builds one per (C, T, k) candidate — share a
+	// single Index; when nil (or not covering), Build derives one itself.
+	Index *Index
 }
 
 func (o Options) withDefaults() Options {
@@ -89,8 +100,24 @@ func Build(t *table.Table, attrs []string, labels []int, rows []int, opts Option
 		return nil, fmt.Errorf("dtree: no rows")
 	}
 	opts = opts.withDefaults()
-	b := &builder{t: t, attrs: attrs, labels: labels, opts: opts}
+	idx := opts.Index
+	if !idx.covers(t, attrs) {
+		var err error
+		idx, err = NewIndex(t, attrs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	nLabels := 0
+	for _, l := range labels {
+		if l >= nLabels {
+			nLabels = l + 1
+		}
+	}
+	b := &builder{t: t, attrs: attrs, labels: labels, opts: opts, idx: idx, nLabels: nLabels}
+	b.initScratch()
 	root, err := b.grow(rows, 0)
+	b.releaseScratch()
 	if err != nil {
 		return nil, err
 	}
@@ -98,10 +125,13 @@ func Build(t *table.Table, attrs []string, labels []int, rows []int, opts Option
 }
 
 type builder struct {
-	t      *table.Table
-	attrs  []string
-	labels []int
-	opts   Options
+	t       *table.Table
+	attrs   []string
+	labels  []int
+	opts    Options
+	idx     *Index
+	nLabels int
+	scratch *buildScratch
 }
 
 func (b *builder) grow(rows []int, depth int) (*node, error) {
@@ -115,17 +145,9 @@ func (b *builder) grow(rows []int, depth int) (*node, error) {
 	if gain < b.opts.MinGain {
 		return b.makeLeaf(rows), nil
 	}
-	var yesRows, noRows []int
-	for _, r := range rows {
-		ok, err := atom.Eval(b.t, r)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			yesRows = append(yesRows, r)
-		} else {
-			noRows = append(noRows, r)
-		}
+	yesRows, noRows, err := b.splitRows(atom, rows)
+	if err != nil {
+		return nil, err
 	}
 	if len(yesRows) < b.opts.MinLeaf || len(noRows) < b.opts.MinLeaf {
 		return b.makeLeaf(rows), nil
@@ -145,93 +167,12 @@ func (b *builder) makeLeaf(rows []int) *node {
 	return &node{leaf: true, label: majority(b.labels, rows), rows: rows}
 }
 
-// bestSplit scans every candidate atom over every attribute and returns the
-// one with the largest Gini impurity decrease.
-func (b *builder) bestSplit(rows []int) (predicate.Atom, float64, error) {
-	base := gini(b.labels, rows)
-	var best predicate.Atom
-	bestGain := -1.0
-	for _, attr := range b.attrs {
-		col := b.t.MustColumn(attr)
-		cands, err := b.candidates(col, rows)
-		if err != nil {
-			return predicate.Atom{}, 0, err
-		}
-		for _, atom := range cands {
-			var yes, no []int
-			for _, r := range rows {
-				ok, err := atom.Eval(b.t, r)
-				if err != nil {
-					return predicate.Atom{}, 0, err
-				}
-				if ok {
-					yes = append(yes, r)
-				} else {
-					no = append(no, r)
-				}
-			}
-			if len(yes) == 0 || len(no) == 0 {
-				continue
-			}
-			n := float64(len(rows))
-			g := base - float64(len(yes))/n*gini(b.labels, yes) - float64(len(no))/n*gini(b.labels, no)
-			if g > bestGain {
-				bestGain, best = g, atom
-			}
-		}
-	}
-	if bestGain < 0 {
-		return predicate.Atom{}, 0, nil
-	}
-	return best, bestGain, nil
-}
-
 // maxNumericThresholds caps the split candidates per numeric attribute.
 // A high-cardinality column (salaries over 50k rows) would otherwise
-// contribute tens of thousands of candidates, each costing a full pass over
-// the node's rows; quantile-spaced boundaries preserve the resolution that
-// matters (where the data mass is) at a fixed budget.
+// contribute tens of thousands of candidates; quantile-spaced boundaries
+// preserve the resolution that matters (where the data mass is) at a fixed
+// budget.
 const maxNumericThresholds = 32
-
-// candidates enumerates split atoms for one column over the given rows.
-func (b *builder) candidates(col *table.Column, rows []int) ([]predicate.Atom, error) {
-	if col.Type.Numeric() {
-		vals := map[float64]bool{}
-		for _, r := range rows {
-			if col.IsNull(r) {
-				continue
-			}
-			vals[col.Float(r)] = true
-		}
-		distinct := make([]float64, 0, len(vals))
-		for v := range vals {
-			distinct = append(distinct, v)
-		}
-		sort.Float64s(distinct)
-		boundaries := boundaryPairs(distinct)
-		atoms := make([]predicate.Atom, 0, len(boundaries))
-		for _, p := range boundaries {
-			thr := NiceThreshold(p[0], p[1])
-			atoms = append(atoms, predicate.NumAtom(col.Name, predicate.Lt, thr))
-		}
-		return atoms, nil
-	}
-	// Categorical: one-vs-rest equality per distinct value present.
-	seen := map[string]bool{}
-	var atoms []predicate.Atom
-	for _, r := range rows {
-		if col.IsNull(r) {
-			continue
-		}
-		v := col.Str(r)
-		if !seen[v] {
-			seen[v] = true
-			atoms = append(atoms, predicate.StrAtom(col.Name, predicate.Eq, v))
-		}
-	}
-	sort.Slice(atoms, func(i, j int) bool { return atoms[i].Str < atoms[j].Str })
-	return atoms, nil
-}
 
 // boundaryPairs returns adjacent-value pairs to place thresholds between.
 // All gaps are used when the column has few distinct values; above the cap,

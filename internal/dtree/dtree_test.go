@@ -264,17 +264,12 @@ func TestHighCardinalityNumericCapped(t *testing.T) {
 			labels[i] = 1
 		}
 	}
-	b := &builder{t: tbl, attrs: []string{"x"}, labels: labels, opts: Options{}.withDefaults()}
-	rows := make([]int, 5000)
-	for i := range rows {
-		rows[i] = i
-	}
-	atoms, err := b.candidates(tbl.MustColumn("x"), rows)
+	idx, err := NewIndex(tbl, []string{"x"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(atoms) > maxNumericThresholds {
-		t.Fatalf("candidates = %d, want ≤ %d", len(atoms), maxNumericThresholds)
+	if got := len(boundaryPairs(idx.cols["x"].vals)); got > maxNumericThresholds {
+		t.Fatalf("candidates = %d, want ≤ %d", got, maxNumericThresholds)
 	}
 	tree, err := Build(tbl, []string{"x"}, labels, nil, Options{MaxDepth: 2})
 	if err != nil {

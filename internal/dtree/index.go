@@ -1,0 +1,120 @@
+package dtree
+
+import (
+	"fmt"
+	"sort"
+
+	"charles/internal/table"
+)
+
+// Index precomputes, once per table, everything candidate enumeration needs
+// per attribute: each row's rank in the attribute's sorted distinct values
+// (numeric) or its dictionary code (categorical). The engine builds one
+// Index per run and shares it across every Build call — thousands per run —
+// instead of re-deriving distinct values and re-evaluating atoms row by row
+// per (C, T, k) candidate. An Index is immutable after construction and safe
+// for concurrent Builds.
+type Index struct {
+	t    *table.Table
+	rows int
+	cols map[string]*indexedAttr
+}
+
+// indexedAttr is the per-attribute precomputation.
+type indexedAttr struct {
+	name    string
+	numeric bool
+	// ranks[r] identifies row r's value: an index into vals (numeric) or
+	// dict (categorical), or -1 for null. Rank order equals sorted value
+	// order in both cases (dictionaries are sorted).
+	ranks []int32
+	vals  []float64 // sorted distinct values (numeric only)
+	dict  []string  // sorted distinct values (categorical only)
+}
+
+// distinct returns the number of rank slots for the attribute.
+func (ia *indexedAttr) distinct() int {
+	if ia.numeric {
+		return len(ia.vals)
+	}
+	return len(ia.dict)
+}
+
+// NewIndex builds the split index for the given attributes of t.
+func NewIndex(t *table.Table, attrs []string) (*Index, error) {
+	ix := &Index{t: t, rows: t.NumRows(), cols: map[string]*indexedAttr{}}
+	for _, a := range attrs {
+		if _, ok := ix.cols[a]; ok {
+			continue
+		}
+		col, err := t.Column(a)
+		if err != nil {
+			return nil, fmt.Errorf("dtree: unknown attribute %q", a)
+		}
+		ia := &indexedAttr{name: a, numeric: col.Type.Numeric()}
+		nulls := col.Nulls()
+		if ia.numeric {
+			vals := col.FloatView()
+			distinct := make([]float64, 0, len(vals))
+			for r, v := range vals {
+				// NaN cells (null or stored non-finite) rank -1: like nulls,
+				// they can never satisfy a threshold atom.
+				if !nulls[r] && v == v {
+					distinct = append(distinct, v)
+				}
+			}
+			sort.Float64s(distinct)
+			distinct = dedupFloats(distinct)
+			ia.vals = distinct
+			ia.ranks = make([]int32, len(vals))
+			for r, v := range vals {
+				if nulls[r] || v != v {
+					ia.ranks[r] = -1
+					continue
+				}
+				ia.ranks[r] = int32(sort.SearchFloat64s(distinct, v))
+			}
+		} else {
+			codes, dict := col.Codes()
+			ia.dict = dict
+			ia.ranks = make([]int32, len(codes))
+			for r, c := range codes {
+				if c == table.NullCode {
+					ia.ranks[r] = -1
+				} else {
+					ia.ranks[r] = int32(c)
+				}
+			}
+		}
+		ix.cols[a] = ia
+	}
+	return ix, nil
+}
+
+// covers reports whether the index was built over t and includes every
+// attribute in attrs.
+func (ix *Index) covers(t *table.Table, attrs []string) bool {
+	if ix == nil || ix.t != t {
+		return false
+	}
+	for _, a := range attrs {
+		if _, ok := ix.cols[a]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// dedupFloats removes adjacent duplicates from a sorted slice, in place.
+func dedupFloats(s []float64) []float64 {
+	if len(s) == 0 {
+		return s
+	}
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

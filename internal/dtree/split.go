@@ -1,0 +1,271 @@
+package dtree
+
+import (
+	"sort"
+	"sync"
+
+	"charles/internal/predicate"
+)
+
+// Split search is the induction hot path: the engine builds one tree per
+// (C, T, k) candidate, and the original implementation re-partitioned the
+// node's rows once per candidate atom (O(rows × candidates) atom.Eval calls
+// with a column lookup each). This implementation makes one pass over the
+// node's rows per attribute to fill a (rank × label) histogram, then scores
+// every candidate from integer counts: thresholds by sweeping ranks in
+// ascending order with prefix sums, categories directly from their bucket.
+// The same candidates are scored with the same Gini arithmetic in the same
+// order, so the chosen tree is identical — only the cost changes.
+
+// buildScratch holds the per-Build working memory, pooled on the Index so
+// concurrent Builds sharing one Index reuse allocations.
+type buildScratch struct {
+	cnt     []int     // (rank, label) histogram, flat rank*nLabels
+	seen    []int32   // per-rank epoch marker
+	epoch   int32     // current epoch for seen
+	present []int32   // node-present ranks (sorted per attribute)
+	vals    []float64 // node-present distinct values (numeric attributes)
+	tot     []int     // node label counts
+	yes     []int     // running yes-side label counts
+	no      []int     // derived no-side label counts
+	sorter  rankSorter
+}
+
+// rankSorter sorts the present-rank scratch through a persistent pointer,
+// so the sort.Sort interface conversion allocates nothing per node.
+type rankSorter struct{ s []int32 }
+
+func (r *rankSorter) Len() int           { return len(r.s) }
+func (r *rankSorter) Less(i, j int) bool { return r.s[i] < r.s[j] }
+func (r *rankSorter) Swap(i, j int)      { r.s[i], r.s[j] = r.s[j], r.s[i] }
+
+var scratchPool = sync.Pool{New: func() any { return &buildScratch{} }}
+
+func (b *builder) initScratch() {
+	s := scratchPool.Get().(*buildScratch)
+	maxRanks := 0
+	for _, a := range b.attrs {
+		if d := b.idx.cols[a].distinct(); d > maxRanks {
+			maxRanks = d
+		}
+	}
+	if cap(s.cnt) < maxRanks*b.nLabels {
+		s.cnt = make([]int, maxRanks*b.nLabels)
+	}
+	if cap(s.seen) < maxRanks {
+		s.seen = make([]int32, maxRanks)
+		s.epoch = 0
+	}
+	s.seen = s.seen[:cap(s.seen)]
+	s.tot = grown(s.tot, b.nLabels)
+	s.yes = grown(s.yes, b.nLabels)
+	s.no = grown(s.no, b.nLabels)
+	b.scratch = s
+}
+
+func (b *builder) releaseScratch() {
+	scratchPool.Put(b.scratch)
+	b.scratch = nil
+}
+
+func grown(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// bestSplit returns the candidate atom with the largest Gini impurity
+// decrease over the node's rows (ties keep the earliest candidate in
+// attribute order, then candidate order — matching the historical scan).
+func (b *builder) bestSplit(rows []int) (predicate.Atom, float64, error) {
+	s := b.scratch
+	L := b.nLabels
+	for l := range s.tot {
+		s.tot[l] = 0
+	}
+	for _, r := range rows {
+		s.tot[b.labels[r]]++
+	}
+	base := giniCounts(s.tot, len(rows))
+	n := float64(len(rows))
+
+	var best predicate.Atom
+	bestGain := -1.0
+	for _, attr := range b.attrs {
+		ia := b.idx.cols[attr]
+
+		// One pass: histogram the node's rows by (rank, label).
+		s.epoch++
+		if s.epoch == 0 { // epoch wrapped: re-zero the markers
+			for i := range s.seen {
+				s.seen[i] = 0
+			}
+			s.epoch = 1
+		}
+		s.present = s.present[:0]
+		for _, r := range rows {
+			rk := ia.ranks[r]
+			if rk < 0 {
+				continue // nulls match no atom; they always fall to the no side
+			}
+			if s.seen[rk] != s.epoch {
+				s.seen[rk] = s.epoch
+				s.present = append(s.present, rk)
+				for l := 0; l < L; l++ {
+					s.cnt[int(rk)*L+l] = 0
+				}
+			}
+			s.cnt[int(rk)*L+b.labels[r]]++
+		}
+		s.sorter.s = s.present
+		sort.Sort(&s.sorter)
+
+		if ia.numeric {
+			// Candidate thresholds between adjacent present values, scored
+			// by sweeping ranks in ascending order with prefix sums.
+			s.vals = s.vals[:0]
+			for _, rk := range s.present {
+				s.vals = append(s.vals, ia.vals[rk])
+			}
+			boundaries := boundaryPairs(s.vals)
+			for l := 0; l < L; l++ {
+				s.yes[l] = 0
+			}
+			yesN, pi := 0, 0
+			for _, pr := range boundaries {
+				lo, hi := pr[0], pr[1]
+				for pi < len(s.present) && ia.vals[s.present[pi]] <= lo {
+					rk := int(s.present[pi])
+					for l := 0; l < L; l++ {
+						c := s.cnt[rk*L+l]
+						s.yes[l] += c
+						yesN += c
+					}
+					pi++
+				}
+				noN := len(rows) - yesN
+				if yesN == 0 || noN == 0 {
+					continue
+				}
+				for l := 0; l < L; l++ {
+					s.no[l] = s.tot[l] - s.yes[l]
+				}
+				g := base - float64(yesN)/n*giniCounts(s.yes, yesN) - float64(noN)/n*giniCounts(s.no, noN)
+				if g > bestGain {
+					bestGain = g
+					best = predicate.NumAtom(attr, predicate.Lt, NiceThreshold(lo, hi))
+				}
+			}
+			continue
+		}
+
+		// Categorical: one-vs-rest equality per present value, in dictionary
+		// (= sorted string) order.
+		for _, rk := range s.present {
+			yesN := 0
+			for l := 0; l < L; l++ {
+				c := s.cnt[int(rk)*L+l]
+				s.yes[l] = c
+				yesN += c
+			}
+			noN := len(rows) - yesN
+			if yesN == 0 || noN == 0 {
+				continue
+			}
+			for l := 0; l < L; l++ {
+				s.no[l] = s.tot[l] - s.yes[l]
+			}
+			g := base - float64(yesN)/n*giniCounts(s.yes, yesN) - float64(noN)/n*giniCounts(s.no, noN)
+			if g > bestGain {
+				bestGain = g
+				best = predicate.StrAtom(attr, predicate.Eq, ia.dict[rk])
+			}
+		}
+	}
+	if bestGain < 0 {
+		return predicate.Atom{}, 0, nil
+	}
+	return best, bestGain, nil
+}
+
+// splitRows partitions rows by the split atom using the index (null and
+// non-finite cells never match, like Atom.Eval).
+func (b *builder) splitRows(a predicate.Atom, rows []int) (yes, no []int, err error) {
+	ia, ok := b.idx.cols[a.Attr]
+	if !ok {
+		// Unreachable for atoms produced by bestSplit; fall back for safety.
+		for _, r := range rows {
+			m, err := a.Eval(b.t, r)
+			if err != nil {
+				return nil, nil, err
+			}
+			if m {
+				yes = append(yes, r)
+			} else {
+				no = append(no, r)
+			}
+		}
+		return yes, no, nil
+	}
+	// One backing array for both sides (two allocations per split instead
+	// of append-doubling four slices).
+	buf := make([]int, len(rows))
+	yes, no = buf[:0:len(rows)], nil
+	ni := len(rows)
+	if a.Numeric {
+		for _, r := range rows {
+			if rk := ia.ranks[r]; rk >= 0 && ia.vals[rk] < a.Num {
+				yes = append(yes, r)
+			} else {
+				ni--
+				buf[ni] = r
+			}
+		}
+	} else {
+		code := int32(-2)
+		if c, present := findCode(ia.dict, a.Str); present {
+			code = c
+		}
+		for _, r := range rows {
+			if rk := ia.ranks[r]; rk >= 0 && rk == code {
+				yes = append(yes, r)
+			} else {
+				ni--
+				buf[ni] = r
+			}
+		}
+	}
+	// The no side was filled back-to-front; restore row order in place.
+	no = buf[ni:]
+	for i, j := 0, len(no)-1; i < j; i, j = i+1, j-1 {
+		no[i], no[j] = no[j], no[i]
+	}
+	return yes, no, nil
+}
+
+func findCode(dict []string, v string) (int32, bool) {
+	i := sort.SearchStrings(dict, v)
+	if i < len(dict) && dict[i] == v {
+		return int32(i), true
+	}
+	return 0, false
+}
+
+// giniCounts computes the Gini impurity from label counts (same arithmetic,
+// in the same label order, as gini over the row subset).
+func giniCounts(counts []int, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	n := float64(total)
+	g := 1.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		g -= p * p
+	}
+	return g
+}

@@ -1,0 +1,137 @@
+package model
+
+import (
+	"math"
+
+	"charles/internal/table"
+)
+
+// This file holds the column-bound fast path for transformations. The naive
+// path (Feature.Eval / Transformation.Apply) resolves columns by name for
+// every row; the engine applies the same transformation to thousands of
+// rows per candidate, so binding resolves each column once into a shared
+// float view and row evaluation becomes pure arithmetic.
+
+// BoundFeature is a Feature resolved against one table: the underlying
+// column(s) are held as float views, so At(r) involves no lookups.
+type BoundFeature struct {
+	form Form
+	x    []float64 // primary attribute values (NaN for nulls)
+	x2   []float64 // Interaction only
+}
+
+// Bind resolves the feature's columns against src. The bound form is
+// read-only and safe for concurrent use.
+func (f Feature) Bind(src *table.Table) (BoundFeature, error) {
+	col, err := src.Column(f.Attr)
+	if err != nil {
+		return BoundFeature{}, err
+	}
+	bf := BoundFeature{form: f.Form, x: col.FloatView()}
+	if bf.x == nil {
+		// Non-numeric column: Float(r) is NaN everywhere, like Feature.Eval.
+		bf.x = nanSlice(src.NumRows())
+	}
+	if f.Form == Interaction {
+		col2, err := src.Column(f.Attr2)
+		if err != nil {
+			return BoundFeature{}, err
+		}
+		bf.x2 = col2.FloatView()
+		if bf.x2 == nil {
+			bf.x2 = nanSlice(src.NumRows())
+		}
+	}
+	return bf, nil
+}
+
+// At evaluates the feature for row r; results match Feature.Eval exactly
+// (nulls and domain errors yield NaN).
+func (bf BoundFeature) At(r int) float64 {
+	x := bf.x[r]
+	switch bf.form {
+	case Linear:
+		return x
+	case Log:
+		if x <= 0 {
+			return math.NaN()
+		}
+		return math.Log(x)
+	case Square:
+		return x * x
+	case Interaction:
+		return x * bf.x2[r]
+	default:
+		return math.NaN()
+	}
+}
+
+func nanSlice(n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = math.NaN()
+	}
+	return s
+}
+
+// CompiledTransformation is a Transformation bound to a table. Zero value is
+// reusable scratch: CompileInto rebinds it in place without reallocating,
+// so a scoring loop that compiles one CT at a time does zero steady-state
+// allocations.
+type CompiledTransformation struct {
+	noChange  bool
+	target    []float64
+	intercept float64
+	coef      []float64
+	feats     []BoundFeature
+}
+
+// CompileInto binds tr against src, reusing dst's storage. The compiled
+// form evaluates rows exactly like Transformation.Apply.
+func (tr Transformation) CompileInto(dst *CompiledTransformation, src *table.Table) error {
+	dst.noChange = tr.NoChange
+	dst.feats = dst.feats[:0]
+	if tr.NoChange {
+		col, err := src.Column(tr.Target)
+		if err != nil {
+			return err
+		}
+		dst.target = col.FloatView()
+		if dst.target == nil {
+			dst.target = nanSlice(src.NumRows())
+		}
+		return nil
+	}
+	dst.intercept = tr.Intercept
+	dst.coef = tr.Coef
+	for _, f := range tr.features() {
+		bf, err := f.Bind(src)
+		if err != nil {
+			return err
+		}
+		dst.feats = append(dst.feats, bf)
+	}
+	return nil
+}
+
+// Compile binds tr against src into a fresh compiled form.
+func (tr Transformation) Compile(src *table.Table) (*CompiledTransformation, error) {
+	c := &CompiledTransformation{}
+	if err := tr.CompileInto(c, src); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// At evaluates the transformation for row r (same result as
+// Transformation.Apply, same accumulation order).
+func (c *CompiledTransformation) At(r int) float64 {
+	if c.noChange {
+		return c.target[r]
+	}
+	s := c.intercept
+	for i, bf := range c.feats {
+		s += c.coef[i] * bf.At(r)
+	}
+	return s
+}

@@ -1,0 +1,236 @@
+package predicate
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"charles/internal/table"
+)
+
+// This file is the columnar fast path of the condition language. The naive
+// path (Atom.Eval / Predicate.Mask) resolves the column by name and
+// dispatches on the operator for every row; the engine evaluates the same
+// atoms against the same table thousands of times per run (once per
+// candidate summary), so here each atom is compiled once — column resolved,
+// categorical constants translated to dictionary codes — and evaluated over
+// the whole column into a Bitset. Conjunctions reduce to word-wise ANDs,
+// and a Cache shares the per-atom bitsets across every candidate in a run.
+
+// CompileAtom evaluates the atom over every row of t into a fresh bitset.
+// The result bit r equals Atom.Eval(t, r) for all rows.
+func CompileAtom(a Atom, t *table.Table) (Bitset, error) {
+	col, err := t.Column(a.Attr)
+	if err != nil {
+		return nil, err
+	}
+	n := t.NumRows()
+	out := NewBitset(n)
+	nulls := col.Nulls()
+	if a.Numeric {
+		switch a.Op {
+		case Lt, Ge, Eq, Ne:
+		default:
+			return nil, fmt.Errorf("predicate: numeric atom with operator %s", a.Op)
+		}
+		// Numeric atoms over a non-numeric column fall back to the boxed
+		// accessor (NaN), matching Atom.Eval exactly.
+		at := col.Float
+		if vals := col.FloatView(); vals != nil {
+			at = func(r int) float64 { return vals[r] }
+		}
+		for r := 0; r < n; r++ {
+			if nulls[r] {
+				continue
+			}
+			x := at(r)
+			var ok bool
+			switch a.Op {
+			case Lt:
+				ok = x < a.Num
+			case Ge:
+				ok = x >= a.Num
+			case Eq:
+				ok = x == a.Num
+			case Ne:
+				ok = x != a.Num
+			}
+			if ok {
+				out.Set(r)
+			}
+		}
+		return out, nil
+	}
+	codes, dict := col.Codes()
+	switch a.Op {
+	case Eq, Ne:
+		want, present := col.Code(a.Str)
+		for r := 0; r < n; r++ {
+			if nulls[r] {
+				continue
+			}
+			match := present && codes[r] == want
+			if a.Op == Ne {
+				match = !match
+			}
+			if match {
+				out.Set(r)
+			}
+		}
+	case In:
+		inSet := make([]bool, len(dict))
+		for _, s := range a.Set {
+			if c, ok := col.Code(s); ok {
+				inSet[c] = true
+			}
+		}
+		for r := 0; r < n; r++ {
+			if !nulls[r] && inSet[codes[r]] {
+				out.Set(r)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("predicate: categorical atom with operator %s", a.Op)
+	}
+	return out, nil
+}
+
+// Compiled is a predicate resolved against one table: every atom has been
+// materialized as a bitset, so evaluating the conjunction costs one AND per
+// atom per 64 rows.
+type Compiled struct {
+	n     int
+	atoms []Bitset
+}
+
+// Compile resolves every atom of p against t. The compiled form is immutable
+// and safe for concurrent use.
+func Compile(p Predicate, t *table.Table) (*Compiled, error) {
+	c := &Compiled{n: t.NumRows()}
+	for _, a := range p.Atoms {
+		bs, err := CompileAtom(a, t)
+		if err != nil {
+			return nil, err
+		}
+		c.atoms = append(c.atoms, bs)
+	}
+	return c, nil
+}
+
+// Rows returns the number of rows the predicate was compiled against.
+func (c *Compiled) Rows() int { return c.n }
+
+// Mask writes the conjunction into dst (reallocated only when too small)
+// and returns it. The empty predicate matches every row.
+func (c *Compiled) Mask(dst Bitset) Bitset {
+	dst = sized(dst, c.n)
+	if len(c.atoms) == 0 {
+		dst.Fill(c.n)
+		return dst
+	}
+	dst.CopyFrom(c.atoms[0])
+	for _, a := range c.atoms[1:] {
+		dst.And(a)
+	}
+	return dst
+}
+
+// sized returns dst if it already holds enough words for n rows, else a
+// fresh bitset — the zero-realloc contract of the scoring path.
+func sized(dst Bitset, n int) Bitset {
+	words := (n + 63) / 64
+	if cap(dst) < words {
+		return make(Bitset, words)
+	}
+	return dst[:words]
+}
+
+// Cache shares materialized atom bitsets across all candidate evaluations of
+// a run. The engine enumerates thousands of (C, T, k) candidates whose
+// conditions reuse a small set of distinct atoms (edu = PhD recurs in
+// hundreds of summaries), so each atom is compiled exactly once, keyed by
+// its canonical form. Safe for concurrent use.
+type Cache struct {
+	t *table.Table
+	n int
+
+	mu     sync.RWMutex // read-locked on warm hits so workers don't serialize
+	atoms  map[string]Bitset
+	hits   atomic.Uint64
+	misses uint64
+}
+
+// NewCache returns an empty atom-bitmap cache bound to t.
+func NewCache(t *table.Table) *Cache {
+	return &Cache{t: t, n: t.NumRows(), atoms: map[string]Bitset{}}
+}
+
+// Rows returns the number of rows of the cached table.
+func (c *Cache) Rows() int { return c.n }
+
+// AtomMask returns the bitset of rows matching a, materializing it on first
+// use. The returned bitset is shared: callers must not modify it.
+func (c *Cache) AtomMask(a Atom) (Bitset, error) {
+	// The key is built on the stack; the string(k) map lookup is
+	// allocation-free (the conversion only materializes on insert), which
+	// keeps warm-cache scoring at zero allocations.
+	var kb [64]byte
+	k := a.appendKey(kb[:0])
+	c.mu.RLock()
+	bs, ok := c.atoms[string(k)]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return bs, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if bs, ok := c.atoms[string(k)]; ok { // raced with another materializer
+		c.hits.Add(1)
+		return bs, nil
+	}
+	bs, err := CompileAtom(a, c.t)
+	if err != nil {
+		return nil, err
+	}
+	c.misses++
+	c.atoms[string(k)] = bs
+	return bs, nil
+}
+
+// Mask evaluates the conjunction p into dst (reallocated only when too
+// small) via the cached atom bitsets and returns it.
+func (c *Cache) Mask(p Predicate, dst Bitset) (Bitset, error) {
+	dst = sized(dst, c.n)
+	if len(p.Atoms) == 0 {
+		dst.Fill(c.n)
+		return dst, nil
+	}
+	for i, a := range p.Atoms {
+		bs, err := c.AtomMask(a)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			dst.CopyFrom(bs)
+		} else {
+			dst.And(bs)
+		}
+	}
+	return dst, nil
+}
+
+// Stats reports cache effectiveness: hits (atom lookups served from the
+// cache) and misses (atoms materialized).
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.hits.Load(), c.misses
+}
+
+// Size returns the number of distinct atoms materialized so far.
+func (c *Cache) Size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.atoms)
+}

@@ -2,9 +2,16 @@
 // predicates over table attributes. A condition is the "why" half of a
 // conditional transformation — it identifies the data partition a
 // transformation applies to, e.g. `edu = MS ∧ exp < 3`.
+//
+// Two evaluation paths exist: the row-at-a-time reference path (Atom.Eval,
+// Predicate.Mask) and a compiled columnar path (Compile, CompileAtom,
+// Cache) that materializes each atom as a Bitset once and reduces
+// conjunctions to word-wise ANDs — the engine's candidate-evaluation hot
+// path. Differential tests pin the two paths to each other.
 package predicate
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"strconv"
@@ -129,15 +136,45 @@ func formatNum(x float64) string {
 	return strconv.FormatFloat(x, 'g', 6, 64)
 }
 
-// key is a canonical form used for fingerprinting and dedup.
+// key is a canonical form used for fingerprinting, dedup, and the compiled
+// atom-bitmap cache. Built with strconv appends rather than Sprintf — it is
+// called for every atom of every candidate summary — but the output is
+// byte-identical to the historical Sprintf forms.
 func (a Atom) key() string {
-	if a.Numeric {
-		return fmt.Sprintf("%s|%d|%.12g", a.Attr, a.Op, a.Num)
+	return string(a.appendKey(make([]byte, 0, len(a.Attr)+24)))
+}
+
+// appendKey appends the canonical form to b. Split out from key so
+// comparisons (atomCompare) can run on stack buffers without allocating.
+func (a Atom) appendKey(b []byte) []byte {
+	b = append(b, a.Attr...)
+	b = append(b, '|')
+	switch {
+	case a.Numeric: // "%s|%d|%.12g"
+		b = strconv.AppendInt(b, int64(a.Op), 10)
+		b = append(b, '|')
+		b = strconv.AppendFloat(b, a.Num, 'g', 12, 64)
+	case a.Op == In: // "%s|in|%s"
+		b = append(b, "in|"...)
+		for i, s := range a.Set {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, s...)
+		}
+	default: // "%s|%d|%s"
+		b = strconv.AppendInt(b, int64(a.Op), 10)
+		b = append(b, '|')
+		b = append(b, a.Str...)
 	}
-	if a.Op == In {
-		return fmt.Sprintf("%s|in|%s", a.Attr, strings.Join(a.Set, ","))
-	}
-	return fmt.Sprintf("%s|%d|%s", a.Attr, a.Op, a.Str)
+	return b
+}
+
+// atomCompare orders atoms by their canonical keys without materializing
+// the key strings (stack buffers; the canonical byte comparison).
+func atomCompare(a, b Atom) int {
+	var ab, bb [48]byte
+	return bytes.Compare(a.appendKey(ab[:0]), b.appendKey(bb[:0]))
 }
 
 // Predicate is a conjunction of atoms. The empty predicate is TRUE (it
@@ -239,24 +276,41 @@ func (p Predicate) Attrs() []string {
 // preserved (the predicate simply matches nothing). The result is sorted
 // canonically.
 func (p Predicate) Normalize() Predicate {
-	lt := map[string]float64{}
-	ge := map[string]float64{}
-	eqAttr := map[string]string{}
+	// Fast path: the engine repeatedly normalizes predicates that already
+	// are (tree leaves are emitted normalized, then re-normalized by the
+	// simplifier and every Fingerprint). Detecting that costs a few stack
+	// comparisons and no allocations.
+	if p.isNormalized() {
+		return p
+	}
+	// The maps are allocated lazily: Normalize runs once per induced leaf
+	// predicate, and most predicates have no numeric bounds to merge.
+	var lt, ge map[string]float64
+	var eqAttr map[string]string
 	for _, a := range p.Atoms {
 		if !a.Numeric && a.Op == Eq {
+			if eqAttr == nil {
+				eqAttr = map[string]string{}
+			}
 			eqAttr[a.Attr] = a.Str
 		}
 	}
 	var rest []Atom
-	seen := map[string]bool{}
+	var seen map[string]bool
 	for _, a := range p.Atoms {
 		switch {
 		case a.Numeric && a.Op == Lt:
 			if cur, ok := lt[a.Attr]; !ok || a.Num < cur {
+				if lt == nil {
+					lt = map[string]float64{}
+				}
 				lt[a.Attr] = a.Num
 			}
 		case a.Numeric && a.Op == Ge:
 			if cur, ok := ge[a.Attr]; !ok || a.Num > cur {
+				if ge == nil {
+					ge = map[string]float64{}
+				}
 				ge[a.Attr] = a.Num
 			}
 		default:
@@ -265,8 +319,12 @@ func (p Predicate) Normalize() Predicate {
 					continue // implied by the equality on this attribute
 				}
 			}
-			if !seen[a.key()] {
-				seen[a.key()] = true
+			k := a.key()
+			if !seen[k] {
+				if seen == nil {
+					seen = map[string]bool{}
+				}
+				seen[k] = true
 				rest = append(rest, a)
 			}
 		}
@@ -279,8 +337,42 @@ func (p Predicate) Normalize() Predicate {
 	for attr, v := range lt {
 		atoms = append(atoms, NumAtom(attr, Lt, v))
 	}
-	sort.Slice(atoms, func(i, j int) bool { return atoms[i].key() < atoms[j].key() })
+	// Insertion sort with the allocation-free comparator: condition
+	// predicates are bounded at a handful of atoms.
+	for i := 1; i < len(atoms); i++ {
+		for j := i; j > 0 && atomCompare(atoms[j-1], atoms[j]) > 0; j-- {
+			atoms[j-1], atoms[j] = atoms[j], atoms[j-1]
+		}
+	}
 	return Predicate{Atoms: atoms}
+}
+
+// isNormalized reports whether Normalize would return p unchanged: atoms
+// strictly sorted by canonical key (hence no duplicates), at most one bound
+// per attribute and direction, and no ≠ atom implied by an equality.
+func (p Predicate) isNormalized() bool {
+	for i := 1; i < len(p.Atoms); i++ {
+		a, b := p.Atoms[i-1], p.Atoms[i]
+		if atomCompare(a, b) >= 0 {
+			return false
+		}
+		// Same-attribute bounds sort adjacently (keys share the attr|op
+		// prefix), so a pair needing a merge shows up here.
+		if a.Numeric && b.Numeric && a.Op == b.Op && (a.Op == Lt || a.Op == Ge) && a.Attr == b.Attr {
+			return false
+		}
+	}
+	for _, a := range p.Atoms {
+		if a.Numeric || a.Op != Ne {
+			continue
+		}
+		for _, b := range p.Atoms {
+			if !b.Numeric && b.Op == Eq && b.Attr == a.Attr && b.Str != a.Str {
+				return false // implied by the equality; Normalize drops it
+			}
+		}
+	}
+	return true
 }
 
 // String renders the conjunction, e.g. "edu = MS ∧ exp < 3"; TRUE when empty.

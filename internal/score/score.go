@@ -7,6 +7,11 @@
 // four preferences — smaller summaries, simpler conditions and
 // transformations, higher coverage, and more "normal" constants — as a
 // weighted mean of sub-scores in [0,1].
+//
+// Evaluate is the row-at-a-time reference implementation; Evaluator is the
+// engine's reusable vectorized equivalent (compiled predicate masks, bound
+// target column, zero steady-state allocations) producing bit-identical
+// breakdowns.
 package score
 
 import (
@@ -242,8 +247,20 @@ func normality(s *model.Summary) float64 {
 				count++
 			}
 		}
-		for _, c := range ct.Tran.Constants() {
-			total += ConstantRoundness(c)
+		// Inline Transformation.Constants (nonzero coefficients, then the
+		// intercept) without materializing the slice — this runs once per
+		// CT per scored candidate.
+		if ct.Tran.NoChange {
+			continue
+		}
+		for _, c := range ct.Tran.Coef {
+			if c != 0 {
+				total += ConstantRoundness(c)
+				count++
+			}
+		}
+		if ct.Tran.Intercept != 0 {
+			total += ConstantRoundness(ct.Tran.Intercept)
 			count++
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Column is a typed, nullable column of values stored contiguously.
@@ -17,6 +18,13 @@ type Column struct {
 	strs   []string
 	bools  []bool
 	nulls  []bool
+
+	// Lazily built encodings (see encode.go), guarded by mu so concurrent
+	// readers (the engine's workers) can trigger the build safely.
+	mu    sync.Mutex
+	codes []uint32
+	dict  []string
+	fview []float64
 }
 
 // NewColumn creates an empty column with the given name and type.
@@ -48,6 +56,7 @@ func (c *Column) compatible(v Value) error {
 // Append adds a value, converting between numeric types as needed.
 // It returns an error when the value is incompatible with the column type.
 func (c *Column) Append(v Value) error {
+	c.invalidate()
 	if v.IsNull() {
 		c.appendZero()
 		c.nulls[len(c.nulls)-1] = true
@@ -113,6 +122,7 @@ func (c *Column) Value(i int) Value {
 
 // Set overwrites the value at row i.
 func (c *Column) Set(i int, v Value) error {
+	c.invalidate()
 	if v.IsNull() {
 		c.nulls[i] = true
 		return nil

@@ -1,0 +1,110 @@
+package table
+
+import (
+	"math"
+	"sort"
+)
+
+// NullCode is the dictionary code assigned to null rows by Codes.
+const NullCode = ^uint32(0)
+
+// Codes returns the dictionary encoding of the column: codes[r] is the index
+// of row r's value in dict, and dict holds the distinct non-null values in
+// sorted order (so code order equals sorted value order). Null rows carry
+// NullCode. Values are compared via their categorical representation (Str),
+// so the encoding is defined for every column type.
+//
+// The encoding is built lazily on first call, cached, and invalidated by
+// mutations (Append/Set). The returned slices are shared views: callers must
+// not modify them. Concurrent readers are safe; concurrent mutation is not
+// (the same contract as the rest of the table package).
+func (c *Column) Codes() ([]uint32, []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.codes != nil {
+		return c.codes, c.dict
+	}
+	n := c.Len()
+	seen := map[string]bool{}
+	for i := 0; i < n; i++ {
+		if c.nulls[i] {
+			continue
+		}
+		seen[c.Str(i)] = true
+	}
+	dict := make([]string, 0, len(seen))
+	for s := range seen {
+		dict = append(dict, s)
+	}
+	sort.Strings(dict)
+	lookup := make(map[string]uint32, len(dict))
+	for i, s := range dict {
+		lookup[s] = uint32(i)
+	}
+	codes := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		if c.nulls[i] {
+			codes[i] = NullCode
+			continue
+		}
+		codes[i] = lookup[c.Str(i)]
+	}
+	c.codes, c.dict = codes, dict
+	return codes, dict
+}
+
+// Code returns the dictionary code for value (true when present). It is the
+// lookup companion of Codes: comparing integer codes replaces per-row string
+// comparison in the compiled-predicate path.
+func (c *Column) Code(value string) (uint32, bool) {
+	_, dict := c.Codes()
+	i := sort.SearchStrings(dict, value)
+	if i < len(dict) && dict[i] == value {
+		return uint32(i), true
+	}
+	return 0, false
+}
+
+// FloatView returns the column's numeric values as a cached slice with NaN
+// in null slots — Float(r) for every row without the per-row call. The slice
+// is a shared view: callers must not modify it. Non-numeric columns return
+// nil. Invalidated by mutations, like Codes.
+func (c *Column) FloatView() []float64 {
+	if !c.Type.Numeric() {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fview != nil {
+		return c.fview
+	}
+	n := c.Len()
+	v := make([]float64, n)
+	switch c.Type {
+	case Float:
+		copy(v, c.floats)
+	case Int:
+		for i, x := range c.ints {
+			v[i] = float64(x)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if c.nulls[i] {
+			v[i] = math.NaN()
+		}
+	}
+	c.fview = v
+	return v
+}
+
+// Nulls returns the per-row null mask as a shared view (callers must not
+// modify it). It exists so columnar evaluation loops can test nullness
+// without a method call per row.
+func (c *Column) Nulls() []bool { return c.nulls }
+
+// invalidate drops the lazily built encodings after a mutation.
+func (c *Column) invalidate() {
+	c.mu.Lock()
+	c.codes, c.dict, c.fview = nil, nil, nil
+	c.mu.Unlock()
+}

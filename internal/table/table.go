@@ -175,6 +175,15 @@ func (t *Table) KeyOf(row int) (string, error) {
 	if len(t.key) == 0 {
 		return "", fmt.Errorf("table: no primary key set")
 	}
+	if len(t.key) == 1 {
+		// Single-column keys (the common case) skip the parts slice and
+		// join — alignment encodes every row's key, so this is a hot path.
+		v, err := t.Value(row, t.key[0])
+		if err != nil {
+			return "", err
+		}
+		return v.Str(), nil
+	}
 	parts := make([]string, len(t.key))
 	for i, k := range t.key {
 		v, err := t.Value(row, k)

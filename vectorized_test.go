@@ -1,0 +1,88 @@
+package charles
+
+import (
+	"testing"
+)
+
+// TestWorkersMatchSerialAt2k is the scale companion of
+// TestParallelWorkersMatchSerial: on the 2 000-row planted dataset the
+// full ranking — fingerprints AND scores — must be identical regardless of
+// worker count. The engine's per-worker evaluators share one atom-bitmap
+// cache, so this also exercises the cache under concurrency.
+func TestWorkersMatchSerialAt2k(t *testing.T) {
+	d, err := PlantedDataset(PlantedConfig{N: 2000, Seed: 13, Rules: 3, RuleDepth: 2, UnchangedFrac: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(d.Target)
+	opts.CondAttrs = d.CondAttrs
+	opts.TranAttrs = d.TranAttrs
+
+	serial := opts
+	serial.Workers = 1
+	parallel := opts
+	parallel.Workers = 8
+
+	a, err := Summarize(d.Src, d.Tgt, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Summarize(d.Src, d.Tgt, parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("worker count changed result size: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Summary.Fingerprint() != b[i].Summary.Fingerprint() {
+			t.Fatalf("worker count changed ranking at %d:\n%s\nvs\n%s", i, a[i].Summary, b[i].Summary)
+		}
+		if a[i].Breakdown.Score != b[i].Breakdown.Score {
+			t.Fatalf("worker count changed score at %d: %v vs %v", i, a[i].Breakdown.Score, b[i].Breakdown.Score)
+		}
+	}
+}
+
+// TestVectorizedApplyMatchesNaiveAt2k locks the whole vectorized candidate-
+// evaluation stack against the naive per-row path at scale: for every
+// summary the engine ranks, the naive Summary.Apply predictions must agree
+// with the score the vectorized evaluator assigned (Score is recomputed
+// through the public scoring entry point, which uses the naive Apply).
+func TestVectorizedApplyMatchesNaiveAt2k(t *testing.T) {
+	d, err := PlantedDataset(PlantedConfig{N: 2000, Seed: 29, Rules: 2, RuleDepth: 2, UnchangedFrac: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(d.Target)
+	opts.CondAttrs = d.CondAttrs
+	opts.TranAttrs = d.TranAttrs
+	ranked, err := Summarize(d.Src, d.Tgt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) == 0 {
+		t.Fatal("no summaries")
+	}
+	a, err := Align(d.Src, d.Tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, newVals, err := a.Delta(d.Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed, err := a.ChangedMask(d.Target, opts.ChangeTol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range ranked {
+		bd, err := Evaluate(r.Summary, a.Source, newVals, changed, opts.Alpha, opts.Weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *bd != *r.Breakdown {
+			t.Fatalf("summary %d: naive breakdown %+v != engine breakdown %+v", i, *bd, *r.Breakdown)
+		}
+	}
+}
