@@ -1,0 +1,53 @@
+// Command charles-serve runs the ChARLES summarization service: an
+// HTTP/JSON API over a snapshot version store. Versions go in as CSV,
+// ranked change summaries come out; repeated questions are answered from
+// an LRU cache with singleflight deduplication.
+//
+// Usage:
+//
+//	charles-serve [-addr :8344] [-dir .charles-store] [-cache 128]
+//
+// Endpoints:
+//
+//	POST /versions            commit a CSV snapshot {csv, key, parent?, message?}
+//	GET  /versions            log, commit order
+//	GET  /versions/{id}       version metadata + lineage
+//	GET  /versions/{id}/csv   checkout the canonical CSV
+//	GET  /diff?from=&to=      update distance + changed attrs (&target= for cells)
+//	POST /summarize           {from, to, target, alpha?, c?, t?, topk?}
+//	GET  /stats               cache hit/miss/execution counters
+//	GET  /healthz             liveness
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	charles "charles"
+)
+
+func main() {
+	addr := flag.String("addr", ":8344", "listen address")
+	dir := flag.String("dir", ".charles-store", "store directory (empty = memory only)")
+	cache := flag.Int("cache", 0, "summarize result cache entries (0 = default)")
+	flag.Parse()
+
+	st, err := charles.OpenStore(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "charles-serve:", err)
+		os.Exit(1)
+	}
+	where := *dir
+	if where == "" {
+		where = "(memory only)"
+	}
+	log.Printf("charles-serve: store %s, %d versions, listening on %s", where, len(st.Log()), *addr)
+	srv := &http.Server{Addr: *addr, Handler: charles.NewServer(st, *cache)}
+	if err := srv.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "charles-serve:", err)
+		os.Exit(1)
+	}
+}

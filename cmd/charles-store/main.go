@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	charles "charles"
 )
@@ -26,23 +27,29 @@ func main() {
 	// Global flags may precede the subcommand.
 	fs := flag.NewFlagSet("charles-store", flag.ExitOnError)
 	dir := fs.String("dir", ".charles-store", "store directory")
-	// Find the subcommand: first non-flag argument.
+	// Find the subcommand: first non-flag argument. The global -dir flag is
+	// accepted in both spellings (-dir VALUE and -dir=VALUE, with one or two
+	// dashes) and may appear before or after the subcommand.
 	args := os.Args[1:]
 	var sub string
 	var rest []string
 	for i := 0; i < len(args); i++ {
-		if args[i] == "-dir" && i+1 < len(args) {
+		name := strings.TrimPrefix(strings.TrimPrefix(args[i], "-"), "-")
+		switch {
+		case strings.HasPrefix(args[i], "-") && name == "dir" && i+1 < len(args):
 			if err := fs.Parse(args[i : i+2]); err != nil {
 				fatal(err)
 			}
 			i++
-			continue
-		}
-		if sub == "" {
+		case strings.HasPrefix(args[i], "-") && strings.HasPrefix(name, "dir="):
+			if err := fs.Parse(args[i : i+1]); err != nil {
+				fatal(err)
+			}
+		case sub == "":
 			sub = args[i]
-			continue
+		default:
+			rest = append(rest, args[i])
 		}
-		rest = append(rest, args[i])
 	}
 	if sub == "" {
 		usage()

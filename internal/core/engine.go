@@ -131,7 +131,7 @@ func (e *engine) run() ([]Ranked, error) {
 		if err != nil {
 			return nil, err
 		}
-		return []Ranked{{Summary: s, Breakdown: bd}}, nil
+		return []Ranked{{Summary: s, Breakdown: bd, NoChange: true}}, nil
 	}
 
 	condSubsets := subsets(e.condAttrs, e.opts.C)

@@ -7,7 +7,10 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"strings"
 
 	"charles/internal/model"
 	"charles/internal/score"
@@ -119,6 +122,41 @@ func DefaultOptions(target string) Options {
 	}
 }
 
+// Fingerprint returns a deterministic digest of every option that can
+// influence a Summarize result. Two Options values with equal fingerprints
+// produce identical rankings over the same snapshot pair (the engine is
+// deterministic given Seed and independent of Workers), which makes the
+// fingerprint a sound component of result-cache keys.
+func (o Options) Fingerprint() string {
+	var b strings.Builder
+	// Workers is deliberately excluded: results are identical regardless of
+	// worker count. Every other field participates. String components are
+	// %q-quoted so attribute names containing separators cannot make
+	// distinct option sets collide.
+	fmt.Fprintf(&b, "target=%q|cond=%s|tran=%s|c=%d|t=%d|kmax=%d|alpha=%.12g|topk=%d",
+		o.Target, quoteList(o.CondAttrs), quoteList(o.TranAttrs),
+		o.C, o.T, o.KMax, o.Alpha, o.TopK)
+	fmt.Fprintf(&b, "|w=%.12g,%.12g,%.12g,%.12g,%.12g",
+		o.Weights.Size, o.Weights.CondSimplicity, o.Weights.TranSimplicity,
+		o.Weights.Coverage, o.Weights.Normality)
+	fmt.Fprintf(&b, "|snap=%.12g|tol=%.12g|minleaf=%.12g|maxatoms=%d|seed=%d",
+		o.SnapTolerance, o.ChangeTol, o.MinLeafFrac, o.MaxCondAtoms, o.Seed)
+	fmt.Fprintf(&b, "|robust=%t|nonlinear=%t|strategy=%d|norefine=%t|keepnochange=%t",
+		o.Robust, o.Nonlinear, int(o.Strategy), o.NoRefine, o.KeepNoChangeCTs)
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:8])
+}
+
+// quoteList renders a string slice unambiguously: each element %q-quoted,
+// so {"a,b"} and {"a","b"} serialize differently.
+func quoteList(items []string) string {
+	quoted := make([]string, len(items))
+	for i, s := range items {
+		quoted[i] = fmt.Sprintf("%q", s)
+	}
+	return strings.Join(quoted, ",")
+}
+
 func (o Options) validate(src *table.Table) error {
 	if o.Target == "" {
 		return fmt.Errorf("core: no target attribute")
@@ -178,6 +216,12 @@ func (s PartitionStrategy) String() string {
 type Ranked struct {
 	Summary   *model.Summary
 	Breakdown *score.Breakdown
+
+	// NoChange marks the engine's explicit "nothing changed" result: the
+	// target attribute did not move between the snapshots, and Summary is
+	// the empty summary. It is the authoritative signal — callers should
+	// test it rather than inferring no-change from Summary.Size().
+	NoChange bool
 }
 
 // Score returns the blended score (convenience accessor).

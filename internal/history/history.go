@@ -57,7 +57,10 @@ func Summarize(snapshots []*table.Table, opts core.Options) (*Timeline, error) {
 			return nil, fmt.Errorf("history: step %d→%d: %w", i, i+1, err)
 		}
 		step := Step{From: i, To: i + 1, Ranked: ranked}
-		if len(ranked) == 1 && ranked[0].Summary.Size() == 0 {
+		// The engine tags its "nothing changed" result explicitly; trust
+		// that signal instead of inferring it from summary shape (a real
+		// change step can legitimately rank a single summary).
+		if len(ranked) > 0 && ranked[0].NoChange {
 			step.NoChange = true
 		}
 		tl.Steps = append(tl.Steps, step)

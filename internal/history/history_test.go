@@ -115,3 +115,35 @@ func TestRender(t *testing.T) {
 		}
 	}
 }
+
+// TestOneSummaryChangeStepNotMarkedNoChange is a regression test for the old
+// no-change heuristic (`len(ranked) == 1 && Size() == 0`): a genuine change
+// step that happens to rank exactly one summary must not read as no-change.
+// The engine's explicit Ranked.NoChange signal is authoritative.
+func TestOneSummaryChangeStepNotMarkedNoChange(t *testing.T) {
+	d1, d2 := gen.Toy()
+	opts := core.DefaultOptions("bonus")
+	opts.TopK = 1 // force a one-summary result on a real change step
+	tl, err := Summarize([]*table.Table{d1, d2, d2.Clone()}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := tl.Steps[0]
+	if len(step.Ranked) != 1 {
+		t.Fatalf("want exactly one ranked summary, got %d", len(step.Ranked))
+	}
+	if step.Ranked[0].Summary.Size() == 0 {
+		t.Fatal("change step produced an empty summary")
+	}
+	if step.NoChange {
+		t.Error("one-summary change step marked NoChange")
+	}
+	if step.Ranked[0].NoChange {
+		t.Error("engine tagged a change result as NoChange")
+	}
+	// And the genuine no-change step carries the explicit engine signal.
+	quiet := tl.Steps[1]
+	if !quiet.NoChange || len(quiet.Ranked) != 1 || !quiet.Ranked[0].NoChange {
+		t.Errorf("no-change step signal: step=%+v", quiet)
+	}
+}

@@ -1,0 +1,112 @@
+// JSON codecs for the engine's result types. The internal structs stay
+// wire-format-free (Predicate is an interface-heavy tree, Breakdown has no
+// tags); these DTOs pin a stable, documented JSON shape for the service.
+package serve
+
+import (
+	"charles/internal/core"
+	"charles/internal/model"
+	"charles/internal/score"
+)
+
+// BreakdownJSON mirrors score.Breakdown.
+type BreakdownJSON struct {
+	Score            float64 `json:"score"`
+	Accuracy         float64 `json:"accuracy"`
+	Interpretability float64 `json:"interpretability"`
+	Size             float64 `json:"size"`
+	CondSimplicity   float64 `json:"condSimplicity"`
+	TranSimplicity   float64 `json:"tranSimplicity"`
+	Coverage         float64 `json:"coverage"`
+	Normality        float64 `json:"normality"`
+	MAE              float64 `json:"mae"`
+	Scale            float64 `json:"scale"`
+}
+
+// CTJSON is one conditional transformation: the display strings the CLI
+// prints plus the structured pieces (inputs, coefficients) so clients can
+// re-render or apply the transformation themselves.
+type CTJSON struct {
+	Condition      string    `json:"condition"`
+	Transformation string    `json:"transformation"`
+	NoChange       bool      `json:"noChange,omitempty"`
+	Inputs         []string  `json:"inputs,omitempty"`
+	Coef           []float64 `json:"coef,omitempty"`
+	Intercept      float64   `json:"intercept,omitempty"`
+	Rows           int       `json:"rows"`
+	Coverage       float64   `json:"coverage"`
+	MAE            float64   `json:"mae"`
+}
+
+// SummaryJSON is a set of CTs for one target attribute.
+type SummaryJSON struct {
+	Target    string   `json:"target"`
+	CTs       []CTJSON `json:"cts"`
+	CondAttrs []string `json:"condAttrs,omitempty"`
+	TranAttrs []string `json:"tranAttrs,omitempty"`
+}
+
+// RankedJSON pairs a summary with its evaluated score.
+type RankedJSON struct {
+	Summary   SummaryJSON   `json:"summary"`
+	Breakdown BreakdownJSON `json:"breakdown"`
+	NoChange  bool          `json:"noChange,omitempty"`
+}
+
+func encodeBreakdown(b *score.Breakdown) BreakdownJSON {
+	return BreakdownJSON{
+		Score:            b.Score,
+		Accuracy:         b.Accuracy,
+		Interpretability: b.Interpretability,
+		Size:             b.Size,
+		CondSimplicity:   b.CondSimplicity,
+		TranSimplicity:   b.TranSimplicity,
+		Coverage:         b.Coverage,
+		Normality:        b.Normality,
+		MAE:              b.MAE,
+		Scale:            b.Scale,
+	}
+}
+
+func encodeCT(ct model.CT) CTJSON {
+	out := CTJSON{
+		Condition:      ct.Cond.String(),
+		Transformation: ct.Tran.String(),
+		NoChange:       ct.Tran.NoChange,
+		Rows:           ct.Rows,
+		Coverage:       ct.Coverage,
+		MAE:            ct.MAE,
+	}
+	if !ct.Tran.NoChange {
+		out.Inputs = ct.Tran.InputNames()
+		out.Coef = ct.Tran.Coef
+		out.Intercept = ct.Tran.Intercept
+	}
+	return out
+}
+
+func encodeSummary(s *model.Summary) SummaryJSON {
+	cts := make([]CTJSON, len(s.CTs))
+	for i, ct := range s.CTs {
+		cts[i] = encodeCT(ct)
+	}
+	return SummaryJSON{
+		Target:    s.Target,
+		CTs:       cts,
+		CondAttrs: s.CondAttrs,
+		TranAttrs: s.TranAttrs,
+	}
+}
+
+// EncodeRanked converts engine results to their wire form.
+func EncodeRanked(ranked []core.Ranked) []RankedJSON {
+	out := make([]RankedJSON, len(ranked))
+	for i, r := range ranked {
+		out[i] = RankedJSON{
+			Summary:   encodeSummary(r.Summary),
+			Breakdown: encodeBreakdown(r.Breakdown),
+			NoChange:  r.NoChange,
+		}
+	}
+	return out
+}

@@ -1,0 +1,330 @@
+// Package serve exposes a version store and the ChARLES summarization
+// engine as a long-lived HTTP/JSON service — the "bolt-on versioning meets
+// queryable change history" layer: versions go in, ranked change summaries
+// come out, and repeated questions are answered from an LRU cache with
+// singleflight deduplication (N identical in-flight requests run the
+// engine once).
+//
+// Endpoints:
+//
+//	POST /versions            commit a CSV snapshot {csv, key, parent?, message?}
+//	GET  /versions            log, commit order
+//	GET  /versions/{id}       version metadata
+//	GET  /versions/{id}/csv   checkout the canonical CSV
+//	GET  /diff?from=&to=      update distance + changed attrs (&target= for cells)
+//	POST /summarize           {from, to, target, alpha?, c?, t?, topk?}
+//	GET  /stats               cache hit/miss/execution counters
+//	GET  /healthz             liveness
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/http"
+	"strings"
+
+	"charles/internal/core"
+	"charles/internal/csvio"
+	"charles/internal/store"
+)
+
+// DefaultCacheSize is the summarize-result LRU capacity when NewServer is
+// given a non-positive size.
+const DefaultCacheSize = 128
+
+// maxBodyBytes bounds request bodies (CSV snapshots included).
+const maxBodyBytes = 64 << 20
+
+// Server is the HTTP front end over one shared Store. The store is safe
+// for concurrent use and the engine runs outside the store's lock, so any
+// number of requests proceed in parallel; identical summarize requests are
+// collapsed by the cache.
+type Server struct {
+	store *store.Store
+	cache *resultCache
+	mux   *http.ServeMux
+}
+
+// NewServer wraps st in an HTTP handler with a result cache of cacheSize
+// entries (<=0 uses DefaultCacheSize).
+func NewServer(st *store.Store, cacheSize int) *Server {
+	if cacheSize <= 0 {
+		cacheSize = DefaultCacheSize
+	}
+	s := &Server{store: st, cache: newResultCache(cacheSize)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /versions", s.handleCommit)
+	mux.HandleFunc("GET /versions", s.handleLog)
+	mux.HandleFunc("GET /versions/{id}", s.handleVersion)
+	mux.HandleFunc("GET /versions/{id}/csv", s.handleCheckout)
+	mux.HandleFunc("GET /diff", s.handleDiff)
+	mux.HandleFunc("POST /summarize", s.handleSummarize)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Stats snapshots the summarize cache counters.
+func (s *Server) Stats() Stats { return s.cache.Stats() }
+
+// errorJSON is the uniform error envelope.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError maps store/engine errors onto HTTP status codes: unknown ids
+// are 404, lineage conflicts 409, server-side IO failures (persist hitting
+// a full or broken disk) 500, and everything else — malformed bodies, CSV
+// parse errors, engine option validation — 400.
+func writeError(w http.ResponseWriter, err error) {
+	var pathErr *fs.PathError
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, store.ErrLineageConflict):
+		code = http.StatusConflict
+	case errors.As(err, &pathErr):
+		code = http.StatusInternalServerError
+	}
+	writeJSON(w, code, errorJSON{Error: err.Error()})
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// commitRequest is the POST /versions body.
+type commitRequest struct {
+	CSV     string   `json:"csv"`
+	Key     []string `json:"key"`
+	Parent  string   `json:"parent,omitempty"`
+	Message string   `json:"message,omitempty"`
+}
+
+func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
+	var req commitRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.CSV == "" || len(req.Key) == 0 {
+		writeError(w, errors.New("commit needs csv and key"))
+		return
+	}
+	t, err := csvio.Read(strings.NewReader(req.CSV), csvio.Options{Key: req.Key})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	v, err := s.store.Commit(t, req.Parent, req.Message)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleLog(w http.ResponseWriter, _ *http.Request) {
+	log := s.store.Log()
+	if log == nil {
+		log = []*store.Version{}
+	}
+	writeJSON(w, http.StatusOK, log)
+}
+
+// versionResponse is the GET /versions/{id} body: metadata plus lineage.
+type versionResponse struct {
+	*store.Version
+	Lineage []string `json:"lineage"` // ids, newest first, self included
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	v, err := s.store.Get(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	lineage, err := s.store.Lineage(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	ids := make([]string, len(lineage))
+	for i, lv := range lineage {
+		ids[i] = lv.ID
+	}
+	writeJSON(w, http.StatusOK, versionResponse{Version: v, Lineage: ids})
+}
+
+func (s *Server) handleCheckout(w http.ResponseWriter, r *http.Request) {
+	blob, err := s.store.Blob(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	_, _ = w.Write(blob)
+}
+
+// diffResponse is the GET /diff body.
+type diffResponse struct {
+	From           string       `json:"from"`
+	To             string       `json:"to"`
+	UpdateDistance int          `json:"updateDistance"`
+	ChangedAttrs   []string     `json:"changedAttrs"`
+	Changes        []changeJSON `json:"changes,omitempty"` // with &target=
+}
+
+type changeJSON struct {
+	Key  string `json:"key"`
+	Attr string `json:"attr"`
+	Old  string `json:"old"`
+	New  string `json:"new"`
+}
+
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	from, to := r.URL.Query().Get("from"), r.URL.Query().Get("to")
+	if from == "" || to == "" {
+		writeError(w, errors.New("diff needs from and to"))
+		return
+	}
+	a, err := s.store.Diff(from, to)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	ud, err := a.UpdateDistance(1e-9)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	attrs, err := a.ChangedAttrs(1e-9)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if attrs == nil {
+		attrs = []string{}
+	}
+	resp := diffResponse{From: from, To: to, UpdateDistance: ud, ChangedAttrs: attrs}
+	if target := r.URL.Query().Get("target"); target != "" {
+		changes, err := a.Changes(target, 1e-9)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		for _, ch := range changes {
+			key, err := a.Source.KeyOf(ch.SrcRow)
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			resp.Changes = append(resp.Changes, changeJSON{
+				Key: key, Attr: ch.Attr, Old: ch.Old.String(), New: ch.New.String(),
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// summarizeRequest is the POST /summarize body. Omitted tuning fields take
+// the engine defaults (c=3, t=2, α=0.5, top-10).
+type summarizeRequest struct {
+	From   string   `json:"from"`
+	To     string   `json:"to"`
+	Target string   `json:"target"`
+	Alpha  *float64 `json:"alpha,omitempty"`
+	C      *int     `json:"c,omitempty"`
+	T      *int     `json:"t,omitempty"`
+	TopK   *int     `json:"topk,omitempty"`
+}
+
+// summarizeResponse is the POST /summarize body.
+type summarizeResponse struct {
+	From               string       `json:"from"`
+	To                 string       `json:"to"`
+	Target             string       `json:"target"`
+	OptionsFingerprint string       `json:"optionsFingerprint"`
+	Cached             bool         `json:"cached"`
+	Ranked             []RankedJSON `json:"ranked"`
+}
+
+func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
+	var req summarizeRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.From == "" || req.To == "" || req.Target == "" {
+		writeError(w, errors.New("summarize needs from, to and target"))
+		return
+	}
+	// Resolve ids up front so unknown versions 404 before touching the
+	// cache (and so invalid requests never occupy a singleflight slot).
+	if _, err := s.store.Get(req.From); err != nil {
+		writeError(w, err)
+		return
+	}
+	if _, err := s.store.Get(req.To); err != nil {
+		writeError(w, err)
+		return
+	}
+	opts := core.DefaultOptions(req.Target)
+	if req.Alpha != nil {
+		opts.Alpha = *req.Alpha
+	}
+	if req.C != nil {
+		opts.C = *req.C
+	}
+	if req.T != nil {
+		opts.T = *req.T
+	}
+	if req.TopK != nil {
+		opts.TopK = *req.TopK
+	}
+	fp := opts.Fingerprint()
+	key := req.From + "|" + req.To + "|" + fp
+	val, hit, err := s.cache.Do(key, func() (any, error) {
+		return s.store.Summarize(req.From, req.To, opts)
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, summarizeResponse{
+		From: req.From, To: req.To, Target: req.Target,
+		OptionsFingerprint: fp,
+		Cached:             hit,
+		Ranked:             EncodeRanked(val.([]core.Ranked)),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.cache.Stats())
+}

@@ -10,6 +10,12 @@
 // CSV blob plus a JSON manifest (id, parent, message, key, sequence); with
 // a directory configured the store persists across processes, without one
 // it is memory-only.
+//
+// A Store is safe for concurrent use: reads (Checkout, Get, Log, Lineage,
+// Diff, Summarize) take a shared lock, Commit takes an exclusive lock, and
+// the expensive summarization engine runs outside the lock entirely — so a
+// long Summarize never blocks commits. Persistence happens under the write
+// lock, serializing manifest updates.
 package store
 
 import (
@@ -22,6 +28,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 
 	"charles/internal/core"
 	"charles/internal/csvio"
@@ -31,6 +38,13 @@ import (
 
 // ErrNotFound is returned for unknown version ids.
 var ErrNotFound = errors.New("store: version not found")
+
+// ErrLineageConflict is returned by Commit when content addressing dedups
+// to an existing version whose parent differs from the requested one: the
+// caller asked for a lineage the store cannot honor without rewriting
+// history, so the conflict is reported instead of silently returning a
+// version with different ancestry.
+var ErrLineageConflict = errors.New("store: lineage conflict")
 
 // Version describes one committed snapshot.
 type Version struct {
@@ -43,9 +57,11 @@ type Version struct {
 	Cols    int      `json:"cols"`
 }
 
-// Store is a lineage of table versions.
+// Store is a lineage of table versions. It is safe for concurrent use.
 type Store struct {
-	dir      string // "" = memory only
+	dir string // "" = memory only
+
+	mu       sync.RWMutex
 	versions map[string]*Version
 	blobs    map[string][]byte // id -> canonical CSV
 	order    []string          // ids in commit order
@@ -89,22 +105,33 @@ func Open(dir string) (*Store, error) {
 // Commit stores a snapshot and returns its version. The table's primary key
 // declaration is recorded (and required — summarization needs it). Parent
 // may be empty for a root version. Committing byte-identical content twice
-// returns the existing version (content addressing).
+// returns the existing version (content addressing) — unless the requested
+// parent disagrees with the stored version's parent, which is reported as
+// ErrLineageConflict rather than silently discarded.
 func (s *Store) Commit(t *table.Table, parent, message string) (*Version, error) {
 	if len(t.Key()) == 0 {
 		return nil, fmt.Errorf("store: table has no primary key; SetKey before committing")
 	}
-	if parent != "" {
-		if _, ok := s.versions[parent]; !ok {
-			return nil, fmt.Errorf("%w: parent %q", ErrNotFound, parent)
-		}
-	}
+	// Serialization is pure and the table is caller-owned, so hash outside
+	// the lock; only the map/order/persist mutation is exclusive.
 	blob, err := canonicalCSV(t)
 	if err != nil {
 		return nil, err
 	}
 	id := contentID(blob, t.Key())
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if parent != "" {
+		if _, ok := s.versions[parent]; !ok {
+			return nil, fmt.Errorf("%w: parent %q", ErrNotFound, parent)
+		}
+	}
 	if existing, ok := s.versions[id]; ok {
+		if existing.Parent != parent {
+			return nil, fmt.Errorf("%w: content %s already committed with parent %q, requested parent %q",
+				ErrLineageConflict, id, existing.Parent, parent)
+		}
 		return existing, nil
 	}
 	v := &Version{
@@ -117,6 +144,13 @@ func (s *Store) Commit(t *table.Table, parent, message string) (*Version, error)
 	s.order = append(s.order, id)
 	if s.dir != "" {
 		if err := s.persist(v, blob); err != nil {
+			// Roll the registration back: a version that never reached disk
+			// must not linger in memory, or a retry would dedup to it and
+			// leave the manifest referencing a blob that was never written
+			// (making the store unopenable after restart).
+			delete(s.versions, id)
+			delete(s.blobs, id)
+			s.order = s.order[:len(s.order)-1]
 			return nil, err
 		}
 	}
@@ -138,13 +172,32 @@ func (s *Store) persist(v *Version, blob []byte) error {
 	return os.WriteFile(filepath.Join(s.dir, "manifest.json"), data, 0o644)
 }
 
-// Checkout reconstructs the table stored under id.
-func (s *Store) Checkout(id string) (*table.Table, error) {
-	v, ok := s.versions[id]
+// Blob returns the canonical CSV serialization stored under id. The bytes
+// are immutable once committed; callers must not modify them.
+func (s *Store) Blob(id string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	blob, ok := s.blobs[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
-	t, err := csvio.Read(bytes.NewReader(s.blobs[id]), csvio.Options{Key: v.Key})
+	return blob, nil
+}
+
+// Checkout reconstructs the table stored under id.
+func (s *Store) Checkout(id string) (*table.Table, error) {
+	s.mu.RLock()
+	v, ok := s.versions[id]
+	var blob []byte
+	if ok {
+		blob = s.blobs[id]
+	}
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	// Blobs are immutable after commit, so parsing happens off-lock.
+	t, err := csvio.Read(bytes.NewReader(blob), csvio.Options{Key: v.Key})
 	if err != nil {
 		return nil, fmt.Errorf("store: version %s: %w", id, err)
 	}
@@ -153,6 +206,8 @@ func (s *Store) Checkout(id string) (*table.Table, error) {
 
 // Get returns the version metadata for id.
 func (s *Store) Get(id string) (*Version, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	v, ok := s.versions[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
@@ -162,6 +217,8 @@ func (s *Store) Get(id string) (*Version, error) {
 
 // Log returns all versions in commit order.
 func (s *Store) Log() []*Version {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]*Version, 0, len(s.order))
 	for _, id := range s.order {
 		out = append(out, s.versions[id])
@@ -170,9 +227,19 @@ func (s *Store) Log() []*Version {
 }
 
 // Lineage walks parents from id back to the root (inclusive, newest first).
+// A parent cycle (only possible in a hand-edited or corrupt manifest —
+// content addressing cannot create one) is reported as an error rather than
+// looping forever.
 func (s *Store) Lineage(id string) ([]*Version, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var out []*Version
+	visited := make(map[string]bool)
 	for id != "" {
+		if visited[id] {
+			return nil, fmt.Errorf("store: lineage cycle at %q", id)
+		}
+		visited[id] = true
 		v, ok := s.versions[id]
 		if !ok {
 			return nil, fmt.Errorf("%w: %q", ErrNotFound, id)

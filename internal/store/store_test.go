@@ -3,6 +3,8 @@ package store
 import (
 	"errors"
 	"os"
+	"strings"
+	"sync"
 	"testing"
 
 	"charles/internal/core"
@@ -209,4 +211,159 @@ func TestOpenRejectsCorruptManifest(t *testing.T) {
 
 func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func TestCommitDedupLineageConflict(t *testing.T) {
+	s, _ := Open("")
+	d1, d2 := gen.Toy()
+	v1, err := s.Commit(d1, "", "2016")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := s.Commit(d2, v1.ID, "2017")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-committing identical content with the *same* parent dedups quietly.
+	again, err := s.Commit(d2.Clone(), v1.ID, "2017 again")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ID != v2.ID {
+		t.Errorf("dedup returned %s, want %s", again.ID, v2.ID)
+	}
+	// Re-committing identical content with a *different* parent is a
+	// lineage conflict, not a silent rewrite.
+	if _, err := s.Commit(d2.Clone(), "", "orphaned 2017"); !errors.Is(err, ErrLineageConflict) {
+		t.Errorf("conflicting parent: got %v, want ErrLineageConflict", err)
+	}
+	if _, err := s.Commit(d1.Clone(), v2.ID, "2016 rebased"); !errors.Is(err, ErrLineageConflict) {
+		t.Errorf("conflicting parent: got %v, want ErrLineageConflict", err)
+	}
+	if len(s.Log()) != 2 {
+		t.Errorf("conflicting commits changed the log: %d entries", len(s.Log()))
+	}
+}
+
+func TestLineageCycleDetected(t *testing.T) {
+	s, _ := Open("")
+	d1, d2 := gen.Toy()
+	v1, err := s.Commit(d1, "", "2016")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := s.Commit(d2, v1.ID, "2017")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a hand-edited/corrupt manifest: point the root back at the
+	// child, forming a cycle. (Content addressing can't create this.)
+	s.versions[v1.ID].Parent = v2.ID
+	if _, err := s.Lineage(v2.ID); err == nil || !strings.Contains(err.Error(), "lineage cycle") {
+		t.Errorf("cyclic lineage: got %v, want lineage cycle error", err)
+	}
+	// Self-cycle, too.
+	s.versions[v1.ID].Parent = v1.ID
+	if _, err := s.Lineage(v1.ID); err == nil || !strings.Contains(err.Error(), "lineage cycle") {
+		t.Errorf("self-cycle: got %v, want lineage cycle error", err)
+	}
+}
+
+// TestConcurrentStoreHammer exercises one Store from many goroutines under
+// -race: concurrent commits of distinct content, checkouts, log walks,
+// lineage walks, and full engine summarizations.
+func TestConcurrentStoreHammer(t *testing.T) {
+	s, _ := Open("")
+	d1, d2 := gen.Toy()
+	v1, err := s.Commit(d1, "", "2016")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := s.Commit(d2, v1.ID, "2017")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, readers = 4, 8
+	var wg sync.WaitGroup
+	errc := make(chan error, writers+readers+2)
+
+	// Writers: distinct content per goroutine (perturb one bonus cell).
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			parent := v2.ID
+			for i := 0; i < 5; i++ {
+				mod := d2.Clone()
+				row, err := mod.RowByKey("Anne")
+				if err != nil {
+					errc <- err
+					return
+				}
+				if err := mod.MustColumn("bonus").Set(row, table.F(float64(30000+w*1000+i))); err != nil {
+					errc <- err
+					return
+				}
+				v, err := s.Commit(mod, parent, "hammer")
+				if err != nil {
+					errc <- err
+					return
+				}
+				parent = v.ID
+			}
+		}(w)
+	}
+	// Readers: checkout, log, get, lineage on whatever exists.
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				for _, v := range s.Log() {
+					if _, err := s.Get(v.ID); err != nil {
+						errc <- err
+						return
+					}
+				}
+				if _, err := s.Checkout(v2.ID); err != nil {
+					errc <- err
+					return
+				}
+				if _, err := s.Lineage(v2.ID); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+	// Summarizers: run the engine across the two fixed versions while
+	// commits land.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Summarize(v1.ID, v2.ID, core.DefaultOptions("bonus")); err != nil {
+				errc <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// All writer commits landed with distinct content → distinct versions.
+	want := 2 + writers*5
+	if got := len(s.Log()); got != want {
+		t.Errorf("log has %d entries, want %d", got, want)
+	}
+	seqs := map[int]bool{}
+	for _, v := range s.Log() {
+		if seqs[v.Seq] {
+			t.Errorf("duplicate seq %d", v.Seq)
+		}
+		seqs[v.Seq] = true
+	}
 }

@@ -1,0 +1,27 @@
+package charles
+
+import (
+	"charles/internal/serve"
+	"charles/internal/store"
+)
+
+// Server is the ChARLES summarization service: an HTTP/JSON API over a
+// VersionStore with an LRU result cache and singleflight deduplication in
+// front of Summarize. See cmd/charles-serve for the standalone binary and
+// the endpoint list.
+type Server = serve.Server
+
+// ServerStats snapshots the service's result-cache counters.
+type ServerStats = serve.Stats
+
+// NewServer wraps a version store in an http.Handler. cacheSize bounds the
+// summarize result cache (<=0 uses the default). The store may be shared
+// with other goroutines — it is safe for concurrent use.
+func NewServer(st *VersionStore, cacheSize int) *Server {
+	return serve.NewServer(st, cacheSize)
+}
+
+// ErrLineageConflict is returned by VersionStore.Commit when content
+// addressing dedups to an existing version whose parent differs from the
+// requested one.
+var ErrLineageConflict = store.ErrLineageConflict
