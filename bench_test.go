@@ -134,3 +134,28 @@ func BenchmarkSuggestAttributes(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkTimeline times the batch timeline workload: an 8-step chain with
+// four evolving numeric attributes, steps fanned out over the worker pool
+// and every pair's atom cache / split index shared across its targets. In CI
+// it runs one iteration under -race, giving the worker-pool path race
+// coverage on every push.
+func BenchmarkTimeline(b *testing.B) {
+	snaps, err := ChainDataset(ChainConfig{N: 300, Steps: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := DefaultOptions("")
+	base.CondAttrs = []string{"dept", "grade"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mt, err := SummarizeTimelineAll(snaps, base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(mt.Attrs) != 4 {
+			b.Fatalf("attrs = %v", mt.Attrs)
+		}
+	}
+}

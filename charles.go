@@ -186,9 +186,50 @@ func ExportSQL(s *Summary, tableName string) string {
 // sequence (see SummarizeTimeline).
 type Timeline = history.Timeline
 
+// TimelineStep is one summarized consecutive pair of a timeline.
+type TimelineStep = history.Step
+
+// Drift describes how a recovered policy moved between consecutive steps.
+type Drift = history.Drift
+
+// MultiTimeline is the batch form of Timeline: one timeline per changed
+// numeric attribute across the whole snapshot sequence.
+type MultiTimeline = history.MultiTimeline
+
 // SummarizeTimeline extends ChARLES from a snapshot pair to a snapshot
 // sequence D₁…Dₙ: each consecutive step is summarized and the timeline can
 // report policy drift between steps.
 func SummarizeTimeline(snapshots []*Table, opts Options) (*Timeline, error) {
 	return history.Summarize(snapshots, opts)
+}
+
+// SummarizeTimelineAll summarizes an entire snapshot chain across all
+// changed numeric attributes: steps run concurrently on a pool bounded by
+// base.Workers, each consecutive pair is aligned exactly once, and all
+// targets of a pair share one PairContext. base.Target is ignored; the other
+// fields supply the shared parameters, exactly as in SummarizeAll.
+func SummarizeTimelineAll(snapshots []*Table, base Options) (*MultiTimeline, error) {
+	return history.SummarizeAll(snapshots, base)
+}
+
+// SummarizeTimelineTarget summarizes a single attribute across the chain on
+// the same bounded step pool, skipping the engine on steps where the target
+// did not move — the cheap path when only one attribute matters.
+func SummarizeTimelineTarget(snapshots []*Table, target string, base Options) (*Timeline, error) {
+	return history.SummarizeTarget(snapshots, target, base)
+}
+
+// PairContext carries the target-independent derived state of one aligned
+// snapshot pair (compiled atom bitmaps, split index) so that multiple
+// Summarize runs over the same pair — different targets, repeated queries —
+// share it instead of rebuilding it per run. Safe for concurrent use.
+type PairContext = core.PairContext
+
+// NewPairContext builds the shared acceleration structures for an aligned
+// pair; an explicit condition pool narrows the split index to those
+// attributes (default: every non-key column). Run targets through
+// PairContext.Summarize; results are bit-identical to
+// Summarize/SummarizeAligned with the same options.
+func NewPairContext(a *Aligned, condAttrs ...string) (*PairContext, error) {
+	return core.NewPairContext(a, condAttrs...)
 }

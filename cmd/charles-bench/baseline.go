@@ -59,6 +59,7 @@ func writeBaseline(path string) error {
 		{"Summarize2k", benchSummarize2k},
 		{"SummarizeToy", benchSummarizeToy},
 		{"Align5k", benchAlign5k},
+		{"Timeline8x4", benchTimeline8x4},
 	}
 	for _, bench := range benches {
 		fmt.Fprintf(os.Stderr, "measuring %s...\n", bench.name)
@@ -109,6 +110,25 @@ func benchSummarizeToy(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := charles.Summarize(src, tgt, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchTimeline8x4 mirrors BenchmarkTimeline: the batch timeline workload —
+// an 8-step chain with four evolving numeric attributes, steps run on the
+// worker pool and per-pair acceleration shared across targets.
+func benchTimeline8x4(b *testing.B) {
+	snaps, err := charles.ChainDataset(charles.ChainConfig{N: 300, Steps: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := charles.DefaultOptions("")
+	base.CondAttrs = []string{"dept", "grade"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := charles.SummarizeTimelineAll(snaps, base); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -8,6 +8,13 @@
 //	charles -source 2016.csv -target-file 2017.csv -key name -target bonus
 //	        [-c 3] [-t 2] [-alpha 0.5] [-topk 10] [-cond edu,exp] [-tran bonus]
 //	        [-tree] [-treemap] [-suggest]
+//
+// The timeline subcommand summarizes a whole snapshot *sequence* instead of
+// one pair, running consecutive steps in parallel and covering every changed
+// numeric attribute (or just -target when given):
+//
+//	charles timeline -snapshots 2015.csv,2016.csv,2017.csv -key name
+//	        [-target bonus] [-c 3] [-t 2] [-alpha 0.5] [-topk 10] [-workers N]
 package main
 
 import (
@@ -20,6 +27,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "timeline" {
+		runTimeline(os.Args[2:])
+		return
+	}
 	var (
 		sourcePath = flag.String("source", "", "source snapshot CSV (earlier version)")
 		targetPath = flag.String("target-file", "", "target snapshot CSV (later version)")
@@ -175,6 +186,70 @@ func main() {
 		fmt.Println("\nSQL replay (top summary):")
 		fmt.Print(charles.ExportSQL(ranked[0].Summary, *sqlTable))
 	}
+}
+
+// runTimeline implements `charles timeline`: load an ordered snapshot
+// sequence and summarize every consecutive step, fanning the steps out over
+// a worker pool. Without -target, every changed numeric attribute gets its
+// own timeline; with it, only that attribute's is rendered.
+func runTimeline(args []string) {
+	fs := flag.NewFlagSet("charles timeline", flag.ExitOnError)
+	var (
+		snapshots = fs.String("snapshots", "", "comma-separated CSV snapshots, oldest first (at least 2)")
+		key       = fs.String("key", "", "comma-separated primary-key column(s)")
+		target    = fs.String("target", "", "render only this attribute's timeline (default: all changed numeric attributes)")
+		condList  = fs.String("cond", "", "comma-separated condition attributes (default: setup assistant, per target)")
+		tranList  = fs.String("tran", "", "comma-separated transformation attributes (default: setup assistant, per target)")
+		c         = fs.Int("c", 3, "max condition attributes per summary")
+		t         = fs.Int("t", 2, "max transformation attributes per summary")
+		alpha     = fs.Float64("alpha", 0.5, "accuracy weight α in Score(S)")
+		topk      = fs.Int("topk", 10, "number of summaries per step")
+		kmax      = fs.Int("kmax", 4, "max residual clusters per candidate")
+		seed      = fs.Int64("seed", 1, "clustering seed")
+		workers   = fs.Int("workers", 0, "max concurrent steps (0 = GOMAXPROCS)")
+	)
+	_ = fs.Parse(args)
+	paths := splitList(*snapshots)
+	if len(paths) < 2 || *key == "" {
+		fmt.Fprintln(os.Stderr, "charles timeline: -snapshots (two or more CSVs) and -key are required")
+		fs.Usage()
+		os.Exit(2)
+	}
+	keys := splitList(*key)
+	snaps := make([]*charles.Table, len(paths))
+	for i, p := range paths {
+		s, err := charles.LoadCSV(p, keys...)
+		if err != nil {
+			fatal(err)
+		}
+		snaps[i] = s
+	}
+	// Target is left empty in the base: the all-attributes path discovers
+	// the changed attributes itself and derives per-target options from it.
+	opts := charles.DefaultOptions("")
+	opts.C, opts.T = *c, *t
+	opts.Alpha = *alpha
+	opts.TopK = *topk
+	opts.KMax = *kmax
+	opts.Seed = *seed
+	opts.CondAttrs = splitList(*condList)
+	opts.TranAttrs = splitList(*tranList)
+	opts.Workers = *workers
+
+	if *target != "" {
+		// Single-target path: only this attribute's steps run the engine.
+		tl, err := charles.SummarizeTimelineTarget(snaps, *target, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(tl.Render())
+		return
+	}
+	mt, err := charles.SummarizeTimelineAll(snaps, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(mt.Render())
 }
 
 func splitList(s string) []string {

@@ -36,3 +36,11 @@ func BillionairesDataset(seed int64, n int) (*Dataset, error) { return gen.Billi
 // policies; recoverable exactly only with Options.Nonlinear (the extension
 // sketched in the paper's limitations section).
 func NonlinearDataset(seed int64, n int) (*Dataset, error) { return gen.PlantedNonlinear(seed, n) }
+
+// ChainConfig parameterizes the multi-step, multi-target chain generator.
+type ChainConfig = gen.ChainConfig
+
+// ChainDataset builds a deterministic version chain (cfg.Steps+1 snapshots)
+// in which four numeric attributes evolve under known per-step policies —
+// the timeline workload behind SummarizeTimelineAll and its benchmarks.
+func ChainDataset(cfg ChainConfig) ([]*Table, error) { return gen.Chain(cfg) }

@@ -33,7 +33,7 @@ func SummarizeAligned(a *diff.Aligned, opts Options) ([]Ranked, error) {
 	if err := opts.validate(a.Source); err != nil {
 		return nil, err
 	}
-	e, err := newEngine(a, opts)
+	e, err := newEngine(a, opts, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -60,7 +60,10 @@ type engine struct {
 	dindex *dtree.Index     // precomputed split candidates per cond attribute
 }
 
-func newEngine(a *diff.Aligned, opts Options) (*engine, error) {
+// newEngine prepares one run. With a non-nil ctx (built for the same
+// aligned pair), the run borrows the context's atom cache and split index
+// instead of constructing its own.
+func newEngine(a *diff.Aligned, opts Options, ctx *PairContext) (*engine, error) {
 	e := &engine{opts: opts, a: a}
 	var err error
 	e.oldVals, e.newVals, err = a.Delta(opts.Target)
@@ -114,18 +117,48 @@ func newEngine(a *diff.Aligned, opts Options) (*engine, error) {
 	// Per-run acceleration: every distinct condition atom is materialized
 	// as a bitmap exactly once, and split candidates (sorted numeric
 	// distincts, category dictionaries) are derived once instead of per
-	// (C, T, k) candidate.
+	// (C, T, k) candidate. A PairContext hoists both one level further:
+	// built once per aligned pair, shared by every target's run.
+	if ctx != nil {
+		e.pcache = ctx.pcache
+		// The context's index covers every non-key column. An exotic pool
+		// that names a key column would miss it — dtree.Build's covers()
+		// fallback would then silently rebuild an index per candidate tree,
+		// thousands per run — so fall back to a per-run index once instead.
+		if ctx.dindex.Covers(a.Source, e.condAttrs) {
+			e.dindex = ctx.dindex
+			return e, nil
+		}
+		e.dindex, err = dtree.NewIndex(a.Source, e.condAttrs)
+		if err != nil {
+			return nil, err
+		}
+		accelIndexBuilds.Add(1)
+		return e, nil
+	}
 	e.pcache = predicate.NewCache(a.Source)
+	accelCacheBuilds.Add(1)
 	e.dindex, err = dtree.NewIndex(a.Source, e.condAttrs)
 	if err != nil {
 		return nil, err
 	}
+	accelIndexBuilds.Add(1)
 	return e, nil
 }
 
 func (e *engine) run() ([]Ranked, error) {
-	// Nothing changed: the only truthful summary is "no change".
 	if len(e.changedRows) == 0 {
+		// changedRows excludes rows whose target is NaN on either side (no
+		// model can be fitted through them), so distinguish two cases: with
+		// no changed cells at all, the truthful summary is the explicit
+		// "no change"; with changes that are all NaN transitions, claiming
+		// NoChange would contradict the diff layer (which reports them), so
+		// return an empty ranking — "changed, but nothing recoverable".
+		for _, ch := range e.changed {
+			if ch {
+				return []Ranked{}, nil
+			}
+		}
 		s := &model.Summary{Target: e.opts.Target}
 		bd, err := score.Evaluate(s, e.a.Source, e.newVals, e.changed, e.opts.Alpha, e.opts.Weights)
 		if err != nil {

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"charles/internal/diff"
 	"charles/internal/table"
 )
@@ -14,7 +12,10 @@ type MultiResult struct {
 	// ByAttr maps each changed numeric attribute to its ranked summaries.
 	ByAttr map[string][]Ranked
 	// Skipped lists changed attributes that could not be summarized
-	// (non-numeric), mapped to the reason.
+	// (non-numeric), mapped to the reason. Change detection uses
+	// base.ChangeTol, with zero defaulting to 1e-9 — the same default
+	// DefaultOptions applies — so Skipped and Attrs together cover exactly
+	// the attributes a diff at that tolerance reports as changed.
 	Skipped map[string]string
 }
 
@@ -23,11 +24,26 @@ type MultiResult struct {
 // everything except Target (and clearing TranAttrs so each target gets its
 // own assistant shortlist when none was given). Changed categorical
 // attributes are reported in Skipped — ChARLES explains numeric evolution.
+// All targets share one PairContext: the pair is aligned once and the atom
+// cache and split index are built once, not per target.
 func SummarizeAll(src, tgt *table.Table, base Options) (*MultiResult, error) {
 	a, err := diff.Align(src, tgt)
 	if err != nil {
 		return nil, err
 	}
+	ctx, err := NewPairContext(a)
+	if err != nil {
+		return nil, err
+	}
+	return SummarizeAllWith(ctx, base)
+}
+
+// SummarizeAllWith is SummarizeAll over a prepared PairContext, for callers
+// that align (and amortize) themselves — the timeline layer builds one
+// context per consecutive snapshot pair and runs every changed attribute
+// through it.
+func SummarizeAllWith(ctx *PairContext, base Options) (*MultiResult, error) {
+	a := ctx.Aligned()
 	tol := base.ChangeTol
 	if tol == 0 {
 		tol = 1e-9
@@ -38,7 +54,7 @@ func SummarizeAll(src, tgt *table.Table, base Options) (*MultiResult, error) {
 	}
 	res := &MultiResult{ByAttr: map[string][]Ranked{}, Skipped: map[string]string{}}
 	for _, attr := range changed {
-		col, err := src.Column(attr)
+		col, err := a.Source.Column(attr)
 		if err != nil {
 			return nil, err
 		}
@@ -56,13 +72,15 @@ func SummarizeAll(src, tgt *table.Table, base Options) (*MultiResult, error) {
 		if len(base.CondAttrs) == 0 {
 			opts.CondAttrs = nil
 		}
-		ranked, err := SummarizeAligned(a, opts)
+		ranked, err := ctx.Summarize(opts)
 		if err != nil {
 			return nil, err
 		}
 		res.Attrs = append(res.Attrs, attr)
 		res.ByAttr[attr] = ranked
 	}
-	sort.Strings(res.Attrs)
+	// ChangedAttrs reports in schema order and the loop preserves it, so
+	// Attrs matches its documentation without re-sorting (the historical
+	// sort.Strings here contradicted the doc).
 	return res, nil
 }

@@ -100,7 +100,10 @@ type Options struct {
 	// combinations; 0 uses GOMAXPROCS. The search is embarrassingly
 	// parallel over transformation-feature subsets, and results are
 	// identical regardless of worker count (candidates are deduplicated by
-	// fingerprint and ranked with total-order tie-breaks).
+	// fingerprint and ranked with total-order tie-breaks). The timeline
+	// layer (history.SummarizeAll) reuses the same knob to bound its
+	// per-step worker pool, collapsing each engine run to one worker when
+	// the step pool is parallel so total concurrency stays at the bound.
 	Workers int
 }
 

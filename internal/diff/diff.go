@@ -8,6 +8,7 @@ package diff
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"charles/internal/table"
 )
@@ -28,8 +29,13 @@ type Aligned struct {
 }
 
 // Align validates the snapshot pair and matches rows by primary key. The key
-// declared on src is used (and must be declared). Every source entity must
-// appear in the target and vice versa.
+// declared on src is used (and must be declared; tgt needs no declaration of
+// its own). Every source entity must appear in the target and vice versa.
+//
+// Align never mutates its inputs: the target is matched through a locally
+// built key index, so the same tables can be aligned from any number of
+// goroutines concurrently (the parallel timeline aligns a shared middle
+// snapshot as the target of one step and the source of the next).
 func Align(src, tgt *table.Table) (*Aligned, error) {
 	if !src.Schema().Equal(tgt.Schema()) {
 		return nil, ErrSchemaMismatch
@@ -38,11 +44,12 @@ func Align(src, tgt *table.Table) (*Aligned, error) {
 	if len(key) == 0 {
 		return nil, ErrNoKey
 	}
-	if err := tgt.SetKey(key...); err != nil {
-		return nil, err
-	}
 	if src.NumRows() != tgt.NumRows() {
 		return nil, fmt.Errorf("%w: %d source rows vs %d target rows", ErrEntityMismatch, src.NumRows(), tgt.NumRows())
+	}
+	tindex, err := tgt.KeyIndexFor(key)
+	if err != nil {
+		return nil, err
 	}
 	m := make([]int, src.NumRows())
 	for r := 0; r < src.NumRows(); r++ {
@@ -50,11 +57,8 @@ func Align(src, tgt *table.Table) (*Aligned, error) {
 		if err != nil {
 			return nil, err
 		}
-		tr, err := tgt.RowByKey(k)
-		if err != nil {
-			return nil, err
-		}
-		if tr < 0 {
+		tr, ok := tindex[k]
+		if !ok {
 			return nil, fmt.Errorf("%w: key %q missing from target", ErrEntityMismatch, k)
 		}
 		m[r] = tr
@@ -77,7 +81,9 @@ type CommonAlignment struct {
 
 // AlignCommon matches the snapshots on the intersection of their entities.
 // Schemas must still agree and src must declare a primary key, but row sets
-// may differ; the deviation is reported rather than rejected.
+// may differ; the deviation is reported rather than rejected. Like Align, it
+// never mutates its inputs (the gathered common-entity tables the result
+// embeds are private copies).
 func AlignCommon(src, tgt *table.Table) (*CommonAlignment, error) {
 	if !src.Schema().Equal(tgt.Schema()) {
 		return nil, ErrSchemaMismatch
@@ -86,7 +92,12 @@ func AlignCommon(src, tgt *table.Table) (*CommonAlignment, error) {
 	if len(key) == 0 {
 		return nil, ErrNoKey
 	}
-	if err := tgt.SetKey(key...); err != nil {
+	sindex, err := src.KeyIndexFor(key)
+	if err != nil {
+		return nil, err
+	}
+	tindex, err := tgt.KeyIndexFor(key)
+	if err != nil {
 		return nil, err
 	}
 	ca := &CommonAlignment{}
@@ -96,35 +107,30 @@ func AlignCommon(src, tgt *table.Table) (*CommonAlignment, error) {
 		if err != nil {
 			return nil, err
 		}
-		tr, err := tgt.RowByKey(k)
-		if err != nil {
-			return nil, err
-		}
-		if tr < 0 {
-			ca.Deleted = append(ca.Deleted, r)
-		} else {
+		if _, ok := tindex[k]; ok {
 			srcCommon = append(srcCommon, r)
+		} else {
+			ca.Deleted = append(ca.Deleted, r)
 		}
 	}
 	var tgtCommon []int
 	for r := 0; r < tgt.NumRows(); r++ {
-		k, err := tgt.KeyOf(r)
+		k, err := tgt.KeyFor(r, key)
 		if err != nil {
 			return nil, err
 		}
-		sr, err := src.RowByKey(k)
-		if err != nil {
-			return nil, err
-		}
-		if sr < 0 {
-			ca.Inserted = append(ca.Inserted, r)
-		} else {
+		if _, ok := sindex[k]; ok {
 			tgtCommon = append(tgtCommon, r)
+		} else {
+			ca.Inserted = append(ca.Inserted, r)
 		}
 	}
 	fsrc := src.Gather(srcCommon)
 	ftgt := tgt.Gather(tgtCommon)
 	if err := fsrc.SetKey(key...); err != nil {
+		return nil, err
+	}
+	if err := ftgt.SetKey(key...); err != nil {
 		return nil, err
 	}
 	a, err := Align(fsrc, ftgt)
@@ -263,7 +269,15 @@ func cellChanged(sc *table.Column, sr int, tc *table.Column, tr int, tol float64
 		return sn != tn
 	}
 	if sc.Type.Numeric() && tc.Type.Numeric() {
-		d := sc.Float(sr) - tc.Float(tr)
+		x, y := sc.Float(sr), tc.Float(tr)
+		// NaN behaves like null: a transition into or out of NaN is a change,
+		// NaN on both sides is not. (The naive |x−y| > tol test is always
+		// false when either side is NaN, which made such transitions
+		// invisible to ChangedMask, ChangedAttrs, and UpdateDistance.)
+		if xn, yn := math.IsNaN(x), math.IsNaN(y); xn || yn {
+			return xn != yn
+		}
+		d := x - y
 		if d < 0 {
 			d = -d
 		}

@@ -2,6 +2,8 @@ package diff
 
 import (
 	"errors"
+	"math"
+	"sync"
 	"testing"
 
 	"charles/internal/table"
@@ -307,4 +309,108 @@ func TestAlignCommonValidation(t *testing.T) {
 	if _, err := AlignCommon(noKey, tgt); !errors.Is(err, ErrNoKey) {
 		t.Errorf("no key: %v", err)
 	}
+}
+
+// TestNaNTransitionsAreChanges pins the cellChanged NaN semantics: a
+// transition into or out of NaN is a change (like null), NaN on both sides
+// is not. The naive |x−y| > tol comparison is always false against NaN,
+// which historically made such transitions invisible to ChangedMask,
+// ChangedAttrs, and UpdateDistance.
+func TestNaNTransitionsAreChanges(t *testing.T) {
+	schema := table.Schema{{Name: "id", Type: table.Int}, {Name: "v", Type: table.Float}}
+	src := table.MustNew(schema)
+	tgt := table.MustNew(schema)
+	nan := math.NaN()
+	src.MustAppendRow(table.I(1), table.F(nan)) // NaN → finite: changed
+	src.MustAppendRow(table.I(2), table.F(5))   // finite → NaN: changed
+	src.MustAppendRow(table.I(3), table.F(nan)) // NaN → NaN: unchanged
+	src.MustAppendRow(table.I(4), table.F(7))   // finite → finite: unchanged
+	tgt.MustAppendRow(table.I(1), table.F(5))
+	tgt.MustAppendRow(table.I(2), table.F(nan))
+	tgt.MustAppendRow(table.I(3), table.F(nan))
+	tgt.MustAppendRow(table.I(4), table.F(7))
+	if err := src.SetKey("id"); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Align(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask, err := a.ChangedMask("v", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, true, false, false}
+	for i := range want {
+		if mask[i] != want[i] {
+			t.Errorf("mask[%d] = %v, want %v", i, mask[i], want[i])
+		}
+	}
+	ud, err := a.UpdateDistance(0)
+	if err != nil || ud != 2 {
+		t.Errorf("update distance = %d, %v; want 2", ud, err)
+	}
+	attrs, err := a.ChangedAttrs(0)
+	if err != nil || len(attrs) != 1 || attrs[0] != "v" {
+		t.Errorf("changed attrs = %v, %v; want [v]", attrs, err)
+	}
+}
+
+// TestAlignDoesNotMutateInputs pins the no-side-effect contract: aligning
+// must leave the target's key declaration untouched (it used to SetKey the
+// caller's table, racing concurrent aligns of a shared table).
+func TestAlignDoesNotMutateInputs(t *testing.T) {
+	src, tgt := snapshotPair(t)
+	if got := tgt.Key(); len(got) != 0 {
+		t.Fatalf("test precondition: tgt key = %v", got)
+	}
+	if _, err := Align(src, tgt); err != nil {
+		t.Fatal(err)
+	}
+	if got := tgt.Key(); len(got) != 0 {
+		t.Errorf("Align set the target's key: %v", got)
+	}
+	if _, err := AlignCommon(src, tgt); err != nil {
+		t.Fatal(err)
+	}
+	if got := tgt.Key(); len(got) != 0 {
+		t.Errorf("AlignCommon set the target's key: %v", got)
+	}
+}
+
+// TestConcurrentAlignSharedTables aligns a chain of shared snapshots from
+// many goroutines at once — the parallel-timeline access pattern, where the
+// middle snapshot is one step's target and the next step's source. Run under
+// -race (CI does) this pins that Align is free of input mutation.
+func TestConcurrentAlignSharedTables(t *testing.T) {
+	schema := table.Schema{{Name: "id", Type: table.Int}, {Name: "pay", Type: table.Float}}
+	mk := func(bump float64) *table.Table {
+		tbl := table.MustNew(schema)
+		for i := 0; i < 64; i++ {
+			tbl.MustAppendRow(table.I(int64(i)), table.F(float64(i*100)+bump))
+		}
+		if err := tbl.SetKey("id"); err != nil {
+			t.Fatal(err)
+		}
+		return tbl
+	}
+	snaps := []*table.Table{mk(0), mk(10), mk(20), mk(30)}
+	var wg sync.WaitGroup
+	for iter := 0; iter < 8; iter++ {
+		for i := 0; i+1 < len(snaps); i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				a, err := Align(snaps[i], snaps[i+1])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := a.ChangedMask("pay", 0); err != nil {
+					t.Error(err)
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
 }

@@ -91,6 +91,13 @@ func NewIndex(t *table.Table, attrs []string) (*Index, error) {
 	return ix, nil
 }
 
+// Covers reports whether the index was built over t and includes every
+// attribute in attrs — callers sharing a prebuilt index across runs (the
+// engine's pair context) use it to detect pools the index cannot serve.
+func (ix *Index) Covers(t *table.Table, attrs []string) bool {
+	return ix.covers(t, attrs)
+}
+
 // covers reports whether the index was built over t and includes every
 // attribute in attrs.
 func (ix *Index) covers(t *table.Table, attrs []string) bool {

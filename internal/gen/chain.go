@@ -1,0 +1,127 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"charles/internal/table"
+)
+
+// ChainConfig parameterizes the multi-step, multi-target chain generator.
+type ChainConfig struct {
+	// N is the number of entities (default 120).
+	N int
+	// Steps is the number of evolution steps; the chain has Steps+1
+	// snapshots (default 8).
+	Steps int
+	// Seed drives the initial values (default 1).
+	Seed int64
+}
+
+func (c ChainConfig) withDefaults() ChainConfig {
+	if c.N <= 0 {
+		c.N = 120
+	}
+	if c.Steps <= 0 {
+		c.Steps = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Chain builds a version chain for the timeline workload: Steps+1 snapshots
+// of an employee table in which four numeric attributes evolve under known
+// per-step policies while the condition attributes (dept, grade) stay fixed:
+//
+//	salary    every step:   dept = ENG → 1.03·salary + 500
+//	                        dept = POL → salary + 1000   (FIN unchanged)
+//	bonus     every step:   grade ≥ 15 → 1.05·bonus, else bonus + 200
+//	overtime  even steps:   dept = FIN → 1.10·overtime, else overtime + 50
+//	longevity steps s%3==0: grade ≥ 20 → longevity + 250
+//
+// overtime and longevity skip steps, so their timelines contain genuine
+// no-change steps. The generator is fully deterministic given the config.
+func Chain(cfg ChainConfig) ([]*table.Table, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	schema := table.Schema{
+		{Name: "id", Type: table.String},
+		{Name: "dept", Type: table.String},
+		{Name: "grade", Type: table.Int},
+		{Name: "salary", Type: table.Float},
+		{Name: "bonus", Type: table.Float},
+		{Name: "overtime", Type: table.Float},
+		{Name: "longevity", Type: table.Float},
+	}
+	depts := []string{"ENG", "POL", "FIN"}
+	first := table.MustNew(schema)
+	for i := 0; i < cfg.N; i++ {
+		dept := depts[rng.Intn(len(depts))]
+		grade := int64(5 + rng.Intn(21)) // 5..25
+		// The evolving columns carry a .5 cent-like fraction so every
+		// snapshot keeps at least one non-integral cell per column — CSV
+		// round-trips (the version store) then infer a stable Float type
+		// instead of flipping between Int and Float across versions.
+		first.MustAppendRow(
+			table.S(fmt.Sprintf("e%04d", i)),
+			table.S(dept),
+			table.I(grade),
+			table.F(float64(40000+rng.Intn(1200)*100)+0.5), // salary
+			table.F(float64(1000+rng.Intn(90)*100)+0.5),    // bonus
+			table.F(float64(rng.Intn(40)*25)+0.5),          // overtime
+			table.F(float64(rng.Intn(8)*250)+0.5),          // longevity
+		)
+	}
+	if err := first.SetKey("id"); err != nil {
+		return nil, err
+	}
+	snaps := []*table.Table{first}
+	for s := 1; s <= cfg.Steps; s++ {
+		next := snaps[len(snaps)-1].Clone()
+		dept := next.MustColumn("dept")
+		grade := next.MustColumn("grade")
+		salary := next.MustColumn("salary")
+		bonus := next.MustColumn("bonus")
+		overtime := next.MustColumn("overtime")
+		longevity := next.MustColumn("longevity")
+		for r := 0; r < next.NumRows(); r++ {
+			switch dept.Str(r) {
+			case "ENG":
+				if err := salary.Set(r, table.F(1.03*salary.Float(r)+500)); err != nil {
+					return nil, err
+				}
+			case "POL":
+				if err := salary.Set(r, table.F(salary.Float(r)+1000)); err != nil {
+					return nil, err
+				}
+			}
+			if grade.Float(r) >= 15 {
+				if err := bonus.Set(r, table.F(1.05*bonus.Float(r))); err != nil {
+					return nil, err
+				}
+			} else {
+				if err := bonus.Set(r, table.F(bonus.Float(r)+200)); err != nil {
+					return nil, err
+				}
+			}
+			if s%2 == 0 {
+				ot := overtime.Float(r) + 50
+				if dept.Str(r) == "FIN" {
+					ot = 1.10 * overtime.Float(r)
+				}
+				if err := overtime.Set(r, table.F(ot)); err != nil {
+					return nil, err
+				}
+			}
+			if s%3 == 0 && grade.Float(r) >= 20 {
+				if err := longevity.Set(r, table.F(longevity.Float(r)+250)); err != nil {
+					return nil, err
+				}
+			}
+		}
+		snaps = append(snaps, next)
+	}
+	return snaps, nil
+}

@@ -286,3 +286,53 @@ func TestPlantedConfigClamps(t *testing.T) {
 		t.Errorf("defaults: rows=%d rules=%d", def.Src.NumRows(), def.Truth.Size())
 	}
 }
+
+func TestChainDeterministicAndPlanted(t *testing.T) {
+	a, err := Chain(ChainConfig{N: 30, Steps: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Chain(ChainConfig{N: 30, Steps: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 5 {
+		t.Fatalf("snapshots = %d, want Steps+1", len(a))
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Errorf("snapshot %d differs across identical configs", i)
+		}
+		if !a[i].Schema().Equal(a[0].Schema()) {
+			t.Errorf("snapshot %d schema drifted", i)
+		}
+	}
+	// Per-step change pattern: salary and bonus every step, overtime on even
+	// steps, longevity on steps divisible by 3.
+	for s := 1; s < len(a); s++ {
+		al, err := diff.Align(a[s-1], a[s])
+		if err != nil {
+			t.Fatal(err)
+		}
+		changed, err := al.ChangedAttrs(1e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set := map[string]bool{}
+		for _, attr := range changed {
+			set[attr] = true
+		}
+		if !set["salary"] || !set["bonus"] {
+			t.Errorf("step %d: salary/bonus must change every step: %v", s, changed)
+		}
+		if set["overtime"] != (s%2 == 0) {
+			t.Errorf("step %d: overtime changed = %v", s, set["overtime"])
+		}
+		if set["longevity"] != (s%3 == 0) {
+			t.Errorf("step %d: longevity changed = %v", s, set["longevity"])
+		}
+		if set["grade"] || set["dept"] {
+			t.Errorf("step %d: condition attributes must stay fixed: %v", s, changed)
+		}
+	}
+}

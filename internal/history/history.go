@@ -8,9 +8,13 @@ package history
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
 	"strings"
+	"sync"
 
 	"charles/internal/core"
+	"charles/internal/diff"
 	"charles/internal/model"
 	"charles/internal/table"
 )
@@ -68,6 +72,253 @@ func Summarize(snapshots []*table.Table, opts core.Options) (*Timeline, error) {
 	return tl, nil
 }
 
+// MultiTimeline is the summarized evolution of every changed numeric
+// attribute across a snapshot sequence — the batch form of Timeline.
+type MultiTimeline struct {
+	// Attrs lists the summarized attributes in schema order (the union of
+	// per-step changed numeric attributes).
+	Attrs []string
+	// Timelines maps each summarized attribute to its per-step timeline.
+	// Steps where the attribute did not change are marked NoChange.
+	Timelines map[string]*Timeline
+	// Skipped maps changed non-numeric attributes to the reason they were
+	// not summarized (merged across steps).
+	Skipped map[string]string
+	// Steps is the number of consecutive snapshot pairs (len(snapshots)−1).
+	Steps int
+}
+
+// SummarizeAll summarizes an entire version chain across all changed numeric
+// attributes: each consecutive snapshot pair is aligned exactly once, every
+// changed attribute of the pair runs through one shared core.PairContext
+// (one atom cache and one split index per pair, regardless of how many
+// targets it has), and the steps are fanned out over a worker pool bounded
+// by base.Workers (0 = GOMAXPROCS). When the step pool is parallel, each
+// engine run is single-threaded so total concurrency stays at the bound
+// rather than squaring it; a single-step chain gets the full budget inside
+// the one engine run.
+//
+// The result is bit-identical to the sequential per-pair, per-target loop —
+// steps are independent and merged in step order, and the engine itself is
+// deterministic and scheduling-independent.
+func SummarizeAll(snapshots []*table.Table, base core.Options) (*MultiTimeline, error) {
+	if len(snapshots) < 2 {
+		return nil, fmt.Errorf("history: need at least 2 snapshots, got %d", len(snapshots))
+	}
+	steps := len(snapshots) - 1
+	results := make([]*core.MultiResult, steps)
+	if err := forEachStep(steps, base.Workers, func(i int, engineBase core.Options) error {
+		var err error
+		results[i], err = summarizeStep(snapshots[i], snapshots[i+1], engineBase)
+		return err
+	}, base); err != nil {
+		return nil, err
+	}
+	return mergeSteps(snapshots[0], results), nil
+}
+
+// forEachStep runs fn for every step index on a pool bounded by workers
+// (≤0 means GOMAXPROCS, clamped to the step count) and returns the earliest
+// failed step's error — deterministic regardless of scheduling. The engine
+// options handed to fn have their internal candidate-worker count collapsed
+// to 1 whenever the step pool itself is parallel, so total concurrency
+// stays at the configured bound instead of squaring it (results are
+// identical either way; the engine is worker-count-independent).
+func forEachStep(steps, workers int, fn func(i int, engineBase core.Options) error, base core.Options) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > steps {
+		workers = steps
+	}
+	engineBase := base
+	if workers > 1 {
+		engineBase.Workers = 1
+	}
+	errs := make([]error, steps)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < steps; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = fn(i, engineBase)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("history: step %d→%d: %w", i, i+1, err)
+		}
+	}
+	return nil
+}
+
+// SummarizeTarget summarizes one attribute across the chain on the same
+// bounded step pool as SummarizeAll, skipping the engine entirely on steps
+// where the target did not move. Single-target steps need no pair context —
+// with one run per pair there is nothing to amortize — so each step runs
+// the classic aligned engine. Results are bit-identical to Summarize
+// (the sequential single-target path) except that unchanged steps carry no
+// Ranked entry at all rather than the engine's explicit no-change result.
+func SummarizeTarget(snapshots []*table.Table, target string, base core.Options) (*Timeline, error) {
+	if len(snapshots) < 2 {
+		return nil, fmt.Errorf("history: need at least 2 snapshots, got %d", len(snapshots))
+	}
+	// Validate the target up front: the engine only runs on steps where it
+	// moved, and a categorical or misspelled target that never moves must
+	// not read as a plausible all-no-change timeline (the serve layer
+	// rejects the same request with a 400).
+	col, err := snapshots[0].Column(target)
+	if err != nil {
+		return nil, fmt.Errorf("history: %w", err)
+	}
+	if !col.Type.Numeric() {
+		return nil, fmt.Errorf("history: target attribute %q is %s, need numeric", target, col.Type)
+	}
+	steps := len(snapshots) - 1
+	tl := &Timeline{Target: target, Steps: make([]Step, steps)}
+	tol := base.ChangeTol
+	if tol == 0 {
+		tol = 1e-9
+	}
+	if err := forEachStep(steps, base.Workers, func(i int, engineBase core.Options) error {
+		var err error
+		tl.Steps[i], err = summarizeTargetStep(snapshots[i], snapshots[i+1], i, target, tol, engineBase)
+		return err
+	}, base); err != nil {
+		return nil, err
+	}
+	return tl, nil
+}
+
+// summarizeTargetStep runs one pair for one target, short-circuiting to a
+// NoChange step when the target did not move.
+func summarizeTargetStep(src, tgt *table.Table, i int, target string, tol float64, base core.Options) (Step, error) {
+	step := Step{From: i, To: i + 1}
+	a, err := diff.Align(src, tgt)
+	if err != nil {
+		return step, err
+	}
+	mask, err := a.ChangedMask(target, tol)
+	if err != nil {
+		return step, err
+	}
+	moved := false
+	for _, ch := range mask {
+		if ch {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		step.NoChange = true
+		return step, nil
+	}
+	opts := base
+	opts.Target = target
+	ranked, err := core.SummarizeAligned(a, opts)
+	if err != nil {
+		return step, err
+	}
+	step.Ranked = ranked
+	if len(ranked) > 0 && ranked[0].NoChange {
+		step.NoChange = true
+	}
+	return step, nil
+}
+
+// summarizeStep aligns one consecutive pair and summarizes all its changed
+// numeric attributes through a shared pair context. An explicit condition
+// pool narrows the context's split index to just those attributes.
+func summarizeStep(src, tgt *table.Table, base core.Options) (*core.MultiResult, error) {
+	a, err := diff.Align(src, tgt)
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := core.NewPairContext(a, base.CondAttrs...)
+	if err != nil {
+		return nil, err
+	}
+	return core.SummarizeAllWith(ctx, base)
+}
+
+// mergeSteps assembles per-attribute timelines from the per-step results.
+// Attributes follow schema order; an attribute absent from a step's result
+// (it did not change there) becomes a NoChange step.
+func mergeSteps(first *table.Table, results []*core.MultiResult) *MultiTimeline {
+	mt := &MultiTimeline{
+		Timelines: map[string]*Timeline{},
+		Skipped:   map[string]string{},
+		Steps:     len(results),
+	}
+	for _, f := range first.Schema() {
+		attr := f.Name
+		active := false
+		for _, res := range results {
+			if _, ok := res.ByAttr[attr]; ok {
+				active = true
+				break
+			}
+		}
+		if !active {
+			continue
+		}
+		tl := &Timeline{Target: attr}
+		for i, res := range results {
+			step := Step{From: i, To: i + 1}
+			if ranked, ok := res.ByAttr[attr]; ok {
+				step.Ranked = ranked
+				if len(ranked) > 0 && ranked[0].NoChange {
+					step.NoChange = true
+				}
+			} else {
+				step.NoChange = true
+			}
+			tl.Steps = append(tl.Steps, step)
+		}
+		mt.Attrs = append(mt.Attrs, attr)
+		mt.Timelines[attr] = tl
+	}
+	for _, res := range results {
+		for attr, why := range res.Skipped {
+			mt.Skipped[attr] = why
+		}
+	}
+	return mt
+}
+
+// Render prints every attribute's timeline, in schema order, followed by the
+// skipped attributes.
+func (mt *MultiTimeline) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "evolution of %d attribute(s) across %d steps\n", len(mt.Attrs), mt.Steps)
+	for _, attr := range mt.Attrs {
+		fmt.Fprintf(&b, "\n=== %s ===\n", attr)
+		b.WriteString(mt.Timelines[attr].Render())
+	}
+	if len(mt.Skipped) > 0 {
+		b.WriteString("\nskipped:\n")
+		for _, attr := range sortedKeys(mt.Skipped) {
+			fmt.Fprintf(&b, "  %s: %s\n", attr, mt.Skipped[attr])
+		}
+	}
+	return b.String()
+}
+
+// sortedKeys returns the map's keys in lexicographic order (deterministic
+// rendering of the skipped set).
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Drift describes how a policy changed between two consecutive steps.
 type Drift struct {
 	StepA, StepB int
@@ -95,6 +346,13 @@ func (tl *Timeline) Drifts() []Drift {
 			d.Note = "change activity toggled"
 		default:
 			sa, sb := a.Top(), b.Top()
+			// A change step can come back with nothing ranked (an engine run
+			// whose every candidate was filtered); without a summary there is
+			// no policy to compare, so say so instead of dereferencing nil.
+			if sa == nil || sb == nil {
+				d.Note = "no summary recovered"
+				break
+			}
 			d.SamePartitioning = samePartitioning(sa, sb)
 			switch {
 			case sa.Fingerprint() == sb.Fingerprint():
@@ -138,6 +396,10 @@ func (tl *Timeline) Render() string {
 		fmt.Fprintf(&b, "\nstep %d → %d:\n", s.From, s.To)
 		if s.NoChange {
 			b.WriteString("  (no change)\n")
+			continue
+		}
+		if len(s.Ranked) == 0 {
+			b.WriteString("  (no summary recovered)\n")
 			continue
 		}
 		top := s.Ranked[0]

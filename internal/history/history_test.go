@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"charles/internal/core"
+	"charles/internal/diff"
 	"charles/internal/gen"
 	"charles/internal/table"
 )
@@ -145,5 +146,323 @@ func TestOneSummaryChangeStepNotMarkedNoChange(t *testing.T) {
 	quiet := tl.Steps[1]
 	if !quiet.NoChange || len(quiet.Ranked) != 1 || !quiet.Ranked[0].NoChange {
 		t.Errorf("no-change step signal: step=%+v", quiet)
+	}
+}
+
+// TestEmptyRankedStepGuards pins the crash fix: a change step whose engine
+// output is empty (no ranked summaries, not NoChange) must render and drift
+// without panicking, and the drift carries an explicit note.
+func TestEmptyRankedStepGuards(t *testing.T) {
+	tl := &Timeline{
+		Target: "bonus",
+		Steps: []Step{
+			{From: 0, To: 1}, // empty Ranked, not NoChange
+			{From: 1, To: 2}, // same
+		},
+	}
+	out := tl.Render()
+	if !strings.Contains(out, "(no summary recovered)") {
+		t.Errorf("render missing empty-step note:\n%s", out)
+	}
+	drifts := tl.Drifts()
+	if len(drifts) != 1 {
+		t.Fatalf("drifts = %d", len(drifts))
+	}
+	if drifts[0].Note != "no summary recovered" {
+		t.Errorf("drift note = %q", drifts[0].Note)
+	}
+	if drifts[0].SamePartitioning {
+		t.Error("empty steps cannot claim same partitioning")
+	}
+	// Mixed: one real step, one empty — also must not panic.
+	snaps := threeSnapshots(t)
+	real, err := Summarize(snaps, core.DefaultOptions("bonus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := &Timeline{Target: "bonus", Steps: []Step{real.Steps[0], {From: 1, To: 2}}}
+	if out := mixed.Render(); !strings.Contains(out, "(no summary recovered)") {
+		t.Errorf("mixed render missing empty-step note:\n%s", out)
+	}
+	if d := mixed.Drifts(); d[0].Note != "no summary recovered" {
+		t.Errorf("mixed drift note = %q", d[0].Note)
+	}
+}
+
+// chainOpts is the shared base configuration of the chain tests: explicit
+// condition pool (dept, grade are the planted policy dimensions) keeps the
+// runs fast; everything else stays at the engine defaults.
+func chainOpts() core.Options {
+	base := core.DefaultOptions("")
+	base.CondAttrs = []string{"dept", "grade"}
+	return base
+}
+
+// equalRanked reports bit-identical rankings: same order, same summaries,
+// same breakdowns to the last float.
+func equalRanked(a, b []core.Ranked) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].NoChange != b[i].NoChange {
+			return false
+		}
+		if a[i].Summary.Fingerprint() != b[i].Summary.Fingerprint() {
+			return false
+		}
+		if *a[i].Breakdown != *b[i].Breakdown {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSummarizeAllDifferential pins the parallel multi-target timeline to
+// the sequential per-pair, per-target reference loop, bit-identically: same
+// attributes, same steps, same rankings, same scores.
+func TestSummarizeAllDifferential(t *testing.T) {
+	snaps, err := gen.Chain(gen.ChainConfig{N: 80, Steps: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := chainOpts()
+	base.Workers = 4
+	mt, err := SummarizeAll(snaps, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sequential reference: fresh alignment and fresh engine state per
+	// (pair, target) — no context sharing, no step parallelism.
+	type ref struct {
+		ranked map[string][]core.Ranked
+	}
+	refs := make([]ref, len(snaps)-1)
+	for i := 0; i+1 < len(snaps); i++ {
+		a, err := diff.Align(snaps[i], snaps[i+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		changed, err := a.ChangedAttrs(base.ChangeTol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i].ranked = map[string][]core.Ranked{}
+		for _, attr := range changed {
+			col, err := snaps[i].Column(attr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !col.Type.Numeric() {
+				continue
+			}
+			opts := base
+			opts.Target = attr
+			opts.Workers = 1
+			ranked, err := core.Summarize(snaps[i], snaps[i+1], opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refs[i].ranked[attr] = ranked
+		}
+	}
+
+	wantAttrs := map[string]bool{}
+	for _, r := range refs {
+		for attr := range r.ranked {
+			wantAttrs[attr] = true
+		}
+	}
+	if len(mt.Attrs) != len(wantAttrs) {
+		t.Fatalf("parallel attrs = %v, reference saw %v", mt.Attrs, wantAttrs)
+	}
+	for _, attr := range mt.Attrs {
+		tl := mt.Timelines[attr]
+		if len(tl.Steps) != len(refs) {
+			t.Fatalf("%s: %d steps, want %d", attr, len(tl.Steps), len(refs))
+		}
+		for i, step := range tl.Steps {
+			want, changed := refs[i].ranked[attr]
+			if !changed {
+				if !step.NoChange {
+					t.Errorf("%s step %d: reference saw no change, parallel ran the engine", attr, i)
+				}
+				continue
+			}
+			if !equalRanked(step.Ranked, want) {
+				t.Errorf("%s step %d: parallel ranking differs from sequential reference", attr, i)
+			}
+		}
+	}
+}
+
+// TestSummarizeAllEightStepChain is the acceptance-criteria test: an 8-step
+// chain with 4 evolving numeric attributes, run concurrently, must build
+// each pair's atom cache and split index exactly once across all targets
+// (asserted via the engine's process-wide build counters) and match the
+// sequential path (Workers=1) bit-identically.
+func TestSummarizeAllEightStepChain(t *testing.T) {
+	snaps, err := gen.Chain(gen.ChainConfig{N: 100, Steps: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := len(snaps) - 1
+
+	base := chainOpts()
+	base.Workers = 4
+	c0, i0 := core.AccelBuilds()
+	mt, err := SummarizeAll(snaps, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, i1 := core.AccelBuilds()
+	if got := c1 - c0; got != uint64(steps) {
+		t.Errorf("atom caches built = %d, want exactly one per pair (%d)", got, steps)
+	}
+	if got := i1 - i0; got != uint64(steps) {
+		t.Errorf("split indexes built = %d, want exactly one per pair (%d)", got, steps)
+	}
+	if len(mt.Attrs) != 4 {
+		t.Fatalf("changed numeric attributes = %v, want the 4 planted targets", mt.Attrs)
+	}
+	engineRuns := 0
+	for _, attr := range mt.Attrs {
+		for _, step := range mt.Timelines[attr].Steps {
+			if len(step.Ranked) > 0 {
+				engineRuns++
+			}
+		}
+	}
+	if engineRuns <= steps {
+		t.Fatalf("expected more engine runs (%d) than pairs (%d) for the amortization claim to be non-trivial", engineRuns, steps)
+	}
+
+	seq := chainOpts()
+	seq.Workers = 1
+	mtSeq, err := SummarizeAll(snaps, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mtSeq.Attrs) != len(mt.Attrs) {
+		t.Fatalf("sequential attrs %v vs parallel %v", mtSeq.Attrs, mt.Attrs)
+	}
+	for _, attr := range mt.Attrs {
+		p, s := mt.Timelines[attr], mtSeq.Timelines[attr]
+		for i := range p.Steps {
+			if p.Steps[i].NoChange != s.Steps[i].NoChange || !equalRanked(p.Steps[i].Ranked, s.Steps[i].Ranked) {
+				t.Errorf("%s step %d: parallel and sequential outputs differ", attr, i)
+			}
+		}
+	}
+	// overtime and longevity skip steps by construction: their timelines
+	// must contain genuine NoChange steps.
+	for _, attr := range []string{"overtime", "longevity"} {
+		tl, ok := mt.Timelines[attr]
+		if !ok {
+			t.Fatalf("%s missing from timelines (%v)", attr, mt.Attrs)
+		}
+		quiet := 0
+		for _, step := range tl.Steps {
+			if step.NoChange {
+				quiet++
+			}
+		}
+		if quiet == 0 {
+			t.Errorf("%s: expected no-change steps in its timeline", attr)
+		}
+	}
+	// Render must cover every attribute without panicking.
+	out := mt.Render()
+	for _, attr := range mt.Attrs {
+		if !strings.Contains(out, "=== "+attr+" ===") {
+			t.Errorf("render missing block for %s", attr)
+		}
+	}
+}
+
+// TestSummarizeAllValidation mirrors the single-target validation contract.
+func TestSummarizeAllValidation(t *testing.T) {
+	d1, _ := gen.Toy()
+	if _, err := SummarizeAll([]*table.Table{d1}, core.DefaultOptions("")); err == nil {
+		t.Error("single snapshot accepted")
+	}
+	other := table.MustNew(table.Schema{{Name: "x", Type: table.Int}})
+	if _, err := SummarizeAll([]*table.Table{d1, other}, core.DefaultOptions("")); err == nil {
+		t.Error("schema drift accepted")
+	}
+}
+
+// TestSummarizeTargetMatchesSequential pins the parallel single-target path
+// to the sequential reference: engine steps bit-identical, unchanged steps
+// short-circuited to NoChange without an engine run.
+func TestSummarizeTargetMatchesSequential(t *testing.T) {
+	snaps, err := gen.Chain(gen.ChainConfig{N: 60, Steps: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := chainOpts()
+	base.Workers = 4
+	for _, target := range []string{"salary", "overtime"} {
+		tl, err := SummarizeTarget(snaps, target, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tl.Steps) != len(snaps)-1 {
+			t.Fatalf("%s: steps = %d", target, len(tl.Steps))
+		}
+		for i := 0; i+1 < len(snaps); i++ {
+			a, err := diff.Align(snaps[i], snaps[i+1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			mask, err := a.ChangedMask(target, base.ChangeTol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			moved := false
+			for _, ch := range mask {
+				moved = moved || ch
+			}
+			step := tl.Steps[i]
+			if !moved {
+				if !step.NoChange || len(step.Ranked) != 0 {
+					t.Errorf("%s step %d: want engine-free NoChange, got %+v", target, i, step)
+				}
+				continue
+			}
+			opts := base
+			opts.Target = target
+			opts.Workers = 1
+			want, err := core.SummarizeAligned(a, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalRanked(step.Ranked, want) {
+				t.Errorf("%s step %d: parallel single-target differs from sequential reference", target, i)
+			}
+		}
+	}
+	// overtime changes only on even steps: the timeline must show that.
+	tl, err := SummarizeTarget(snaps, "overtime", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, step := range tl.Steps {
+		if want := (i+1)%2 == 0; step.NoChange == want {
+			t.Errorf("overtime step %d: NoChange = %v", i, step.NoChange)
+		}
+	}
+	// Validation mirrors the batch path.
+	if _, err := SummarizeTarget(snaps[:1], "salary", base); err == nil {
+		t.Error("single snapshot accepted")
+	}
+	if _, err := SummarizeTarget(snaps, "ghost", base); err == nil {
+		t.Error("unknown target accepted")
+	}
+	// A categorical target errors up front instead of yielding a plausible
+	// all-no-change timeline (the serve layer 400s the same request).
+	if _, err := SummarizeTarget(snaps, "dept", base); err == nil {
+		t.Error("categorical target accepted")
 	}
 }

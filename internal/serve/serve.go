@@ -13,6 +13,8 @@
 //	GET  /versions/{id}/csv   checkout the canonical CSV
 //	GET  /diff?from=&to=      update distance + changed attrs (&target= for cells)
 //	POST /summarize           {from, to, target, alpha?, c?, t?, topk?}
+//	POST /timeline            {head?, target?, alpha?, c?, t?, topk?} — walk
+//	                          the lineage root→head and summarize every step
 //	GET  /stats               cache hit/miss/execution counters
 //	GET  /healthz             liveness
 package serve
@@ -61,6 +63,7 @@ func NewServer(st *store.Store, cacheSize int) *Server {
 	mux.HandleFunc("GET /versions/{id}/csv", s.handleCheckout)
 	mux.HandleFunc("GET /diff", s.handleDiff)
 	mux.HandleFunc("POST /summarize", s.handleSummarize)
+	mux.HandleFunc("POST /timeline", s.handleTimeline)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})

@@ -1,0 +1,303 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+
+	"charles/internal/core"
+	"charles/internal/diff"
+	"charles/internal/history"
+	"charles/internal/table"
+)
+
+// timelineRequest is the POST /timeline body. Head defaults to the most
+// recently committed version; with no Target every changed numeric attribute
+// of every step is summarized. Tuning fields mirror POST /summarize.
+type timelineRequest struct {
+	Head   string   `json:"head,omitempty"`
+	Target string   `json:"target,omitempty"`
+	Alpha  *float64 `json:"alpha,omitempty"`
+	C      *int     `json:"c,omitempty"`
+	T      *int     `json:"t,omitempty"`
+	TopK   *int     `json:"topk,omitempty"`
+}
+
+// timelineStepJSON is one consecutive version pair of one target's timeline.
+type timelineStepJSON struct {
+	From     string       `json:"from"`
+	To       string       `json:"to"`
+	NoChange bool         `json:"noChange,omitempty"`
+	Cached   bool         `json:"cached,omitempty"`
+	Ranked   []RankedJSON `json:"ranked,omitempty"`
+}
+
+// driftJSON mirrors history.Drift.
+type driftJSON struct {
+	StepA            int    `json:"stepA"`
+	StepB            int    `json:"stepB"`
+	SamePartitioning bool   `json:"samePartitioning"`
+	Note             string `json:"note"`
+}
+
+// timelineTargetJSON is one attribute's summarized evolution.
+type timelineTargetJSON struct {
+	Target string             `json:"target"`
+	Steps  []timelineStepJSON `json:"steps"`
+	Drifts []driftJSON        `json:"drifts,omitempty"`
+}
+
+// timelineResponse is the POST /timeline body.
+type timelineResponse struct {
+	Head     string               `json:"head"`
+	Versions []string             `json:"versions"` // root → head
+	Steps    int                  `json:"steps"`
+	Targets  []timelineTargetJSON `json:"targets"`
+	Skipped  map[string]string    `json:"skipped,omitempty"`
+}
+
+// timelineTol is the change tolerance of the lineage walk (the engine
+// default, also used by GET /diff).
+const timelineTol = 1e-9
+
+// handleTimeline walks the store lineage head→root and summarizes every
+// step, reusing the summarize LRU per step: each (from, to, target) triple
+// is cached under the same (from, to, options-fingerprint) key POST
+// /summarize uses, so a timeline request warms the pair cache and vice
+// versa. Steps run concurrently; identical in-flight work is collapsed by
+// the cache's singleflight.
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	var req timelineRequest
+	// Every field is optional, so an absent body is the all-defaults
+	// request, not an error.
+	if err := decodeJSON(r, &req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, err)
+		return
+	}
+	head := req.Head
+	if head == "" {
+		hv, err := s.store.Head()
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		head = hv.ID
+	}
+	chain, err := s.store.Chain(head)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(chain) < 2 {
+		writeError(w, errors.New("timeline needs a lineage of at least 2 versions"))
+		return
+	}
+	steps := len(chain) - 1
+
+	// Check each version out exactly once and align the consecutive pairs
+	// up front — Align never mutates its inputs, so a middle snapshot can
+	// safely be one step's target and the next step's source. changedBy[i]
+	// is the per-step changed-attribute set.
+	tables := make([]*table.Table, len(chain))
+	for i, v := range chain {
+		t, err := s.store.Checkout(v.ID)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		tables[i] = t
+	}
+	aligned := make([]*diff.Aligned, steps)
+	changedBy := make([]map[string]bool, steps)
+	var schemaAttrs []string         // non-key attrs in schema order
+	numeric := map[string]bool{}     // attr -> numeric?
+	everChanged := map[string]bool{} // union across steps
+	for i := 0; i < steps; i++ {
+		a, err := diff.Align(tables[i], tables[i+1])
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		aligned[i] = a
+		if schemaAttrs == nil {
+			keySet := map[string]bool{}
+			for _, k := range a.Source.Key() {
+				keySet[k] = true
+			}
+			for _, f := range a.Source.Schema() {
+				if keySet[f.Name] {
+					continue
+				}
+				schemaAttrs = append(schemaAttrs, f.Name)
+				numeric[f.Name] = f.Type.Numeric()
+			}
+		}
+		attrs, err := a.ChangedAttrs(timelineTol)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		changedBy[i] = map[string]bool{}
+		for _, attr := range attrs {
+			changedBy[i][attr] = true
+			everChanged[attr] = true
+		}
+	}
+
+	// Target set: the explicit request target (validated, so a typo reads
+	// as an error rather than a fabricated all-no-change timeline), else
+	// every changed numeric attribute in schema order (categorical changes
+	// are reported skipped).
+	var targets []string
+	skipped := map[string]string{}
+	if req.Target != "" {
+		isNumeric, known := numeric[req.Target]
+		switch {
+		case !known:
+			writeError(w, fmt.Errorf("unknown target attribute %q", req.Target))
+			return
+		case !isNumeric:
+			writeError(w, fmt.Errorf("target attribute %q is not numeric (categorical changes cannot be summarized)", req.Target))
+			return
+		}
+		targets = []string{req.Target}
+	} else {
+		for _, attr := range schemaAttrs {
+			if !everChanged[attr] {
+				continue
+			}
+			if !numeric[attr] {
+				skipped[attr] = "non-numeric attribute (categorical change)"
+				continue
+			}
+			targets = append(targets, attr)
+		}
+	}
+
+	// Per-target engine options; the fingerprint keys the LRU.
+	optsByTarget := make([]core.Options, len(targets))
+	fpByTarget := make([]string, len(targets))
+	for ti, target := range targets {
+		opts := core.DefaultOptions(target)
+		if req.Alpha != nil {
+			opts.Alpha = *req.Alpha
+		}
+		if req.C != nil {
+			opts.C = *req.C
+		}
+		if req.T != nil {
+			opts.T = *req.T
+		}
+		if req.TopK != nil {
+			opts.TopK = *req.TopK
+		}
+		if steps > 1 {
+			// The step fan-out supplies the parallelism; single-threaded
+			// engine runs keep total concurrency at GOMAXPROCS instead of
+			// squaring it. Workers is excluded from the fingerprint and the
+			// engine is worker-count-independent, so cached results stay
+			// interchangeable with POST /summarize.
+			opts.Workers = 1
+		}
+		optsByTarget[ti] = opts
+		fpByTarget[ti] = opts.Fingerprint()
+	}
+
+	// Fan the steps out over a bounded pool. Within a step, the targets run
+	// sequentially through one lazily built PairContext, so a cold walk
+	// builds each pair's atom cache and split index once across all its
+	// targets; every result still lands in the LRU under the same key POST
+	// /summarize uses, so repeats cost nothing and concurrent duplicates
+	// collapse to one execution.
+	type cell struct {
+		ranked []core.Ranked
+		hit    bool
+		err    error
+		run    bool
+	}
+	cells := make([][]cell, len(targets))
+	for ti := range targets {
+		cells[ti] = make([]cell, steps)
+	}
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := 0; i < steps; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var ctx *core.PairContext // built on the step's first cache miss
+			from, to := chain[i].ID, chain[i+1].ID
+			for ti := range targets {
+				if !changedBy[i][targets[ti]] {
+					continue // NoChange step: no engine run
+				}
+				key := from + "|" + to + "|" + fpByTarget[ti]
+				val, hit, err := s.cache.Do(key, func() (any, error) {
+					if ctx == nil {
+						var err error
+						if ctx, err = core.NewPairContext(aligned[i]); err != nil {
+							return nil, err
+						}
+					}
+					return ctx.Summarize(optsByTarget[ti])
+				})
+				c := &cells[ti][i]
+				c.run, c.hit, c.err = true, hit, err
+				if err == nil {
+					c.ranked = val.([]core.Ranked)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for ti := range targets {
+		for i := range cells[ti] {
+			if err := cells[ti][i].err; err != nil {
+				writeError(w, err)
+				return
+			}
+		}
+	}
+
+	resp := timelineResponse{Head: head, Steps: steps, Skipped: skipped}
+	for _, v := range chain {
+		resp.Versions = append(resp.Versions, v.ID)
+	}
+	for ti, target := range targets {
+		tj := timelineTargetJSON{Target: target}
+		// Assemble a history.Timeline alongside the wire steps so the drift
+		// analysis is the library's, not a re-implementation.
+		tl := &history.Timeline{Target: target}
+		for i := 0; i < steps; i++ {
+			c := cells[ti][i]
+			sj := timelineStepJSON{From: chain[i].ID, To: chain[i+1].ID}
+			hs := history.Step{From: i, To: i + 1}
+			if !c.run {
+				sj.NoChange, hs.NoChange = true, true
+			} else {
+				sj.Cached = c.hit
+				sj.Ranked = EncodeRanked(c.ranked)
+				hs.Ranked = c.ranked
+				if len(c.ranked) > 0 && c.ranked[0].NoChange {
+					sj.NoChange, hs.NoChange = true, true
+				}
+			}
+			tj.Steps = append(tj.Steps, sj)
+			tl.Steps = append(tl.Steps, hs)
+		}
+		for _, d := range tl.Drifts() {
+			tj.Drifts = append(tj.Drifts, driftJSON{
+				StepA: d.StepA, StepB: d.StepB,
+				SamePartitioning: d.SamePartitioning,
+				Note:             d.Note,
+			})
+		}
+		resp.Targets = append(resp.Targets, tj)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -250,6 +250,32 @@ func (s *Store) Lineage(id string) ([]*Version, error) {
 	return out, nil
 }
 
+// Chain returns the version chain ending at headID, oldest first (root →
+// head, inclusive) — the walking order of timeline summarization, which
+// steps through consecutive (parent, child) pairs.
+func (s *Store) Chain(headID string) ([]*Version, error) {
+	lineage, err := s.Lineage(headID)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Version, len(lineage))
+	for i, v := range lineage {
+		out[len(lineage)-1-i] = v
+	}
+	return out, nil
+}
+
+// Head returns the most recently committed version (ErrNotFound when the
+// store is empty) — the default timeline endpoint.
+func (s *Store) Head() (*Version, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.order) == 0 {
+		return nil, fmt.Errorf("%w: store is empty", ErrNotFound)
+	}
+	return s.versions[s.order[len(s.order)-1]], nil
+}
+
 // Diff aligns two stored versions (by the snapshots' shared primary key).
 func (s *Store) Diff(fromID, toID string) (*diff.Aligned, error) {
 	src, err := s.Checkout(fromID)

@@ -367,3 +367,51 @@ func TestConcurrentStoreHammer(t *testing.T) {
 		seqs[v.Seq] = true
 	}
 }
+
+// TestChainAndHead pins the lineage-walk helpers behind POST /timeline:
+// Chain returns root→head order (Lineage reversed), Head the latest commit.
+func TestChainAndHead(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Head(); !errors.Is(err, ErrNotFound) {
+		t.Errorf("empty store Head err = %v, want ErrNotFound", err)
+	}
+	snaps, err := gen.Chain(gen.ChainConfig{N: 20, Steps: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	parent := ""
+	for _, snap := range snaps {
+		v, err := s.Commit(snap, parent, "step")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+		parent = v.ID
+	}
+	head, err := s.Head()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head.ID != ids[len(ids)-1] {
+		t.Errorf("head = %s, want %s", head.ID, ids[len(ids)-1])
+	}
+	chain, err := s.Chain(head.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != len(ids) {
+		t.Fatalf("chain length = %d, want %d", len(chain), len(ids))
+	}
+	for i, v := range chain {
+		if v.ID != ids[i] {
+			t.Errorf("chain[%d] = %s, want root→head order %s", i, v.ID, ids[i])
+		}
+	}
+	if _, err := s.Chain("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown head err = %v", err)
+	}
+}

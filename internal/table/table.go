@@ -175,17 +175,27 @@ func (t *Table) KeyOf(row int) (string, error) {
 	if len(t.key) == 0 {
 		return "", fmt.Errorf("table: no primary key set")
 	}
-	if len(t.key) == 1 {
+	return t.KeyFor(row, t.key)
+}
+
+// KeyFor encodes the values of cols at row in the same format KeyOf uses for
+// the declared key, without consulting or touching the key declaration — so
+// a table can be matched against another table's key purely read-only.
+func (t *Table) KeyFor(row int, cols []string) (string, error) {
+	if len(cols) == 0 {
+		return "", fmt.Errorf("table: KeyFor needs at least one column")
+	}
+	if len(cols) == 1 {
 		// Single-column keys (the common case) skip the parts slice and
 		// join — alignment encodes every row's key, so this is a hot path.
-		v, err := t.Value(row, t.key[0])
+		v, err := t.Value(row, cols[0])
 		if err != nil {
 			return "", err
 		}
 		return v.Str(), nil
 	}
-	parts := make([]string, len(t.key))
-	for i, k := range t.key {
+	parts := make([]string, len(cols))
+	for i, k := range cols {
 		v, err := t.Value(row, k)
 		if err != nil {
 			return "", err
@@ -193,6 +203,24 @@ func (t *Table) KeyOf(row int) (string, error) {
 		parts[i] = v.Str()
 	}
 	return strings.Join(parts, "\x1f"), nil
+}
+
+// KeyIndexFor builds and returns an encoded-key → row index over cols,
+// rejecting duplicate keys. Unlike the lazy cache behind RowByKey it never
+// mutates the table, so concurrent callers may index a shared table safely.
+func (t *Table) KeyIndexFor(cols []string) (map[string]int, error) {
+	idx := make(map[string]int, t.NumRows())
+	for r := 0; r < t.NumRows(); r++ {
+		k, err := t.KeyFor(r, cols)
+		if err != nil {
+			return nil, err
+		}
+		if prev, dup := idx[k]; dup {
+			return nil, fmt.Errorf("table: duplicate primary key %q at rows %d and %d", k, prev, r)
+		}
+		idx[k] = r
+	}
+	return idx, nil
 }
 
 // RowByKey returns the row index holding the given encoded key, or -1.
@@ -213,16 +241,9 @@ func (t *Table) buildKeyIndex() error {
 	if len(t.key) == 0 {
 		return fmt.Errorf("table: no primary key set")
 	}
-	idx := make(map[string]int, t.NumRows())
-	for r := 0; r < t.NumRows(); r++ {
-		k, err := t.KeyOf(r)
-		if err != nil {
-			return err
-		}
-		if prev, dup := idx[k]; dup {
-			return fmt.Errorf("table: duplicate primary key %q at rows %d and %d", k, prev, r)
-		}
-		idx[k] = r
+	idx, err := t.KeyIndexFor(t.key)
+	if err != nil {
+		return err
 	}
 	t.keyIndex = idx
 	return nil
