@@ -159,3 +159,45 @@ func BenchmarkTimeline(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkStoreChain50 times a full root→head checkout walk of a 50-step
+// version chain stored delta-encoded: the timeline read pattern. The first
+// iteration reconstructs and parses every version once; every later walk is
+// served from the store's table LRU, so the steady state this records is
+// the zero-parse clone path. In CI it runs one iteration under -race.
+func BenchmarkStoreChain50(b *testing.B) {
+	snaps, err := ChainDataset(ChainConfig{N: 120, Steps: 50, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := OpenStoreWith("", StoreOptions{TableCache: len(snaps)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	parent := ""
+	var head string
+	for _, snap := range snaps {
+		v, err := st.Commit(snap, parent, "step")
+		if err != nil {
+			b.Fatal(err)
+		}
+		parent, head = v.ID, v.ID
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chain, err := st.Chain(head)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, v := range chain {
+			if _, err := st.Checkout(v.ID); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	if stats := st.Stats(); stats.Parses != int64(len(snaps)) {
+		b.Fatalf("walks parsed %d times, want exactly %d (first walk only)", stats.Parses, len(snaps))
+	}
+}

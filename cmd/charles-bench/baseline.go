@@ -60,6 +60,7 @@ func writeBaseline(path string) error {
 		{"SummarizeToy", benchSummarizeToy},
 		{"Align5k", benchAlign5k},
 		{"Timeline8x4", benchTimeline8x4},
+		{"StoreChain50", benchStoreChain50},
 	}
 	for _, bench := range benches {
 		fmt.Fprintf(os.Stderr, "measuring %s...\n", bench.name)
@@ -130,6 +131,42 @@ func benchTimeline8x4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := charles.SummarizeTimelineAll(snaps, base); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// benchStoreChain50 mirrors BenchmarkStoreChain50: a root→head checkout
+// walk of a 50-step delta-encoded version chain; after the first walk fills
+// the table LRU, each op is the zero-parse cached read path.
+func benchStoreChain50(b *testing.B) {
+	snaps, err := charles.ChainDataset(charles.ChainConfig{N: 120, Steps: 50, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := charles.OpenStoreWith("", charles.StoreOptions{TableCache: len(snaps)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	parent := ""
+	var head string
+	for _, snap := range snaps {
+		v, err := st.Commit(snap, parent, "step")
+		if err != nil {
+			b.Fatal(err)
+		}
+		parent, head = v.ID, v.ID
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chain, err := st.Chain(head)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, v := range chain {
+			if _, err := st.Checkout(v.ID); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

@@ -9,6 +9,14 @@
 //	charles-store -dir .charles checkout -id <id> -out snapshot.csv
 //	charles-store -dir .charles diff      -from <id> -to <id> -target bonus
 //	charles-store -dir .charles summarize -from <id> -to <id> -target bonus [-alpha 0.5] [-topk 10]
+//	charles-store -dir .charles timeline  [-head <id>] [-target bonus] [-alpha 0.5] [-topk 10]
+//	charles-store -dir .charles stats
+//	charles-store -dir .charles gc
+//
+// Versions are stored as delta-encoded pack files (full anchors every few
+// commits); stats reports pack counts, on-disk vs logical bytes, and the
+// checkout-cache counters, and gc reclaims legacy per-version CSVs left by
+// migration plus orphaned packs.
 package main
 
 import (
@@ -69,6 +77,12 @@ func main() {
 		cmdDiff(st, rest)
 	case "summarize":
 		cmdSummarize(st, rest)
+	case "timeline":
+		cmdTimeline(st, rest)
+	case "stats":
+		cmdStats(st)
+	case "gc":
+		cmdGC(st)
 	default:
 		fmt.Fprintf(os.Stderr, "charles-store: unknown subcommand %q\n", sub)
 		usage()
@@ -185,6 +199,85 @@ func cmdSummarize(st *charles.VersionStore, args []string) {
 	}
 }
 
+// cmdTimeline walks the lineage root→head through the store's cached
+// checkout path and renders each changed numeric attribute's timeline.
+func cmdTimeline(st *charles.VersionStore, args []string) {
+	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+	head := fs.String("head", "", "head version id (default: latest commit)")
+	target := fs.String("target", "", "render only this attribute's timeline")
+	alpha := fs.Float64("alpha", 0.5, "accuracy weight α")
+	topk := fs.Int("topk", 10, "summaries per step")
+	mustParse(fs, args)
+	id := *head
+	if id == "" {
+		hv, err := st.Head()
+		if err != nil {
+			fatal(err)
+		}
+		id = hv.ID
+	}
+	chain, err := st.Chain(id)
+	if err != nil {
+		fatal(err)
+	}
+	if len(chain) < 2 {
+		fatal(fmt.Errorf("timeline needs a lineage of at least 2 versions, head %s has %d", id, len(chain)))
+	}
+	ids := make([]string, len(chain))
+	for i, v := range chain {
+		ids[i] = v.ID
+	}
+	base := charles.DefaultOptions("")
+	base.Alpha = *alpha
+	base.TopK = *topk
+	if *target != "" {
+		// Single-target: check the chain out (cache-served) and run only
+		// that attribute's engine passes, with up-front target validation.
+		snaps := make([]*charles.Table, len(ids))
+		for i, vid := range ids {
+			var err error
+			if snaps[i], err = st.Checkout(vid); err != nil {
+				fatal(err)
+			}
+		}
+		tl, err := charles.SummarizeTimelineTarget(snaps, *target, base)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(tl.Render())
+		return
+	}
+	mt, err := charles.SummarizeTimelineChain(st, ids, base)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(mt.Render())
+}
+
+// cmdStats prints the pack-storage and checkout-cache counters.
+func cmdStats(st *charles.VersionStore) {
+	s := st.Stats()
+	fmt.Printf("versions:      %d\n", s.Versions)
+	fmt.Printf("packs:         %d full + %d delta\n", s.FullPacks, s.DeltaPacks)
+	fmt.Printf("pack bytes:    %d\n", s.PackBytes)
+	fmt.Printf("logical bytes: %d\n", s.LogicalBytes)
+	if s.PackBytes > 0 {
+		fmt.Printf("compression:   %.2fx\n", s.Compression)
+	}
+	fmt.Printf("checkout cache: %d/%d entries, %d hits, %d misses, %d parses\n",
+		s.CacheEntries, s.CacheCapacity, s.CacheHits, s.CacheMisses, s.Parses)
+}
+
+// cmdGC reclaims migrated legacy CSVs and orphaned pack files.
+func cmdGC(st *charles.VersionStore) {
+	rep, err := st.GC()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("removed %d legacy CSV file(s) and %d orphaned pack(s), reclaimed %d bytes\n",
+		rep.LegacyFiles, rep.OrphanPacks, rep.BytesReclaimed)
+}
+
 func splitList(s string) []string {
 	var out []string
 	start := 0
@@ -206,7 +299,7 @@ func mustParse(fs *flag.FlagSet, args []string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: charles-store [-dir DIR] {commit|log|checkout|diff|summarize} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: charles-store [-dir DIR] {commit|log|checkout|diff|summarize|timeline|stats|gc} [flags]")
 	os.Exit(2)
 }
 

@@ -1,0 +1,79 @@
+package csvio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// RowReader streams the records of a CSV document one at a time, without
+// materializing the whole document or inferring types — the raw-record
+// layer under Read, built for the version store's delta application, which
+// merges a parent snapshot with a change set row by row.
+type RowReader struct {
+	cr     *csv.Reader
+	header []string
+	err    error
+}
+
+// NewRowReader wraps r. The first record is treated as the header row.
+func NewRowReader(r io.Reader) *RowReader {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = false // raw pass-through: bytes in, bytes out
+	cr.ReuseRecord = false
+	return &RowReader{cr: cr}
+}
+
+// Header returns the header record, reading it on first call.
+func (r *RowReader) Header() ([]string, error) {
+	if r.header == nil && r.err == nil {
+		rec, err := r.cr.Read()
+		if err == io.EOF {
+			r.err = fmt.Errorf("csvio: empty input (no header row)")
+		} else if err != nil {
+			r.err = fmt.Errorf("csvio: %w", err)
+		} else {
+			r.header = rec
+		}
+	}
+	return r.header, r.err
+}
+
+// Next returns the next data record, or io.EOF after the last one. The
+// header is consumed implicitly if Header was not called first.
+func (r *RowReader) Next() ([]string, error) {
+	if _, err := r.Header(); err != nil {
+		return nil, err
+	}
+	rec, err := r.cr.Read()
+	if err == io.EOF {
+		return nil, io.EOF
+	}
+	if err != nil {
+		return nil, fmt.Errorf("csvio: %w", err)
+	}
+	return rec, nil
+}
+
+// RowWriter streams raw CSV records to w with the same canonical quoting
+// Write uses, so a document reassembled record-by-record is byte-identical
+// to one serialized in a single pass.
+type RowWriter struct {
+	cw *csv.Writer
+}
+
+// NewRowWriter wraps w.
+func NewRowWriter(w io.Writer) *RowWriter {
+	return &RowWriter{cw: csv.NewWriter(w)}
+}
+
+// Write appends one record.
+func (w *RowWriter) Write(rec []string) error {
+	return w.cw.Write(rec)
+}
+
+// Flush drains buffered output and reports any deferred write error.
+func (w *RowWriter) Flush() error {
+	w.cw.Flush()
+	return w.cw.Error()
+}

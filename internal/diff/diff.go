@@ -66,6 +66,70 @@ func Align(src, tgt *table.Table) (*Aligned, error) {
 	return &Aligned{Source: src, Target: tgt, TgtRow: m}, nil
 }
 
+// RowMatch is the outcome of matching two row sets by encoded primary key:
+// the row-level join every tolerant diff and the store's delta encoder are
+// built on. Indices refer to positions in the key slices given to MatchKeys
+// (equivalently: row numbers of the snapshots the keys were encoded from).
+type RowMatch struct {
+	// Pairs lists (src, tgt) index pairs for keys present on both sides,
+	// in src order.
+	Pairs [][2]int
+	// SrcOnly lists indices whose key appears only on the source side
+	// (deleted rows), in src order.
+	SrcOnly []int
+	// TgtOnly lists indices whose key appears only on the target side
+	// (inserted rows), in tgt order.
+	TgtOnly []int
+}
+
+// MatchKeys joins two encoded-key sequences (table.KeyOf / table.KeyFor
+// encoding) into pairs, deletions, and insertions. Duplicate keys within one
+// side are rejected — a relation with a duplicated primary key cannot be
+// row-matched meaningfully. The match is purely positional and never touches
+// a table, so callers may run it over raw CSV rows, cached key slices, or
+// anything else that can produce the encoded keys.
+func MatchKeys(src, tgt []string) (*RowMatch, error) {
+	tindex := make(map[string]int, len(tgt))
+	for i, k := range tgt {
+		if prev, dup := tindex[k]; dup {
+			return nil, fmt.Errorf("diff: duplicate key %q at target rows %d and %d", k, prev, i)
+		}
+		tindex[k] = i
+	}
+	m := &RowMatch{}
+	seen := make(map[string]int, len(src))
+	for i, k := range src {
+		if prev, dup := seen[k]; dup {
+			return nil, fmt.Errorf("diff: duplicate key %q at source rows %d and %d", k, prev, i)
+		}
+		seen[k] = i
+		if ti, ok := tindex[k]; ok {
+			m.Pairs = append(m.Pairs, [2]int{i, ti})
+		} else {
+			m.SrcOnly = append(m.SrcOnly, i)
+		}
+	}
+	for i, k := range tgt {
+		if _, ok := seen[k]; !ok {
+			m.TgtOnly = append(m.TgtOnly, i)
+		}
+	}
+	return m, nil
+}
+
+// encodedKeys returns KeyFor(r, key) for every row of t.
+func encodedKeys(t *table.Table, key []string) ([]string, error) {
+	out := make([]string, t.NumRows())
+	for r := range out {
+		k, err := t.KeyFor(r, key)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = k
+	}
+	return out, nil
+}
+
 // CommonAlignment is a tolerant alignment over the entity intersection:
 // rows only in the source are reported as deleted, rows only in the target
 // as inserted, and the embedded Aligned covers the common entities — so
@@ -92,37 +156,32 @@ func AlignCommon(src, tgt *table.Table) (*CommonAlignment, error) {
 	if len(key) == 0 {
 		return nil, ErrNoKey
 	}
-	sindex, err := src.KeyIndexFor(key)
+	skeys, err := encodedKeys(src, key)
 	if err != nil {
 		return nil, err
 	}
-	tindex, err := tgt.KeyIndexFor(key)
+	tkeys, err := encodedKeys(tgt, key)
 	if err != nil {
 		return nil, err
 	}
-	ca := &CommonAlignment{}
-	var srcCommon []int
-	for r := 0; r < src.NumRows(); r++ {
-		k, err := src.KeyOf(r)
-		if err != nil {
-			return nil, err
-		}
-		if _, ok := tindex[k]; ok {
-			srcCommon = append(srcCommon, r)
-		} else {
-			ca.Deleted = append(ca.Deleted, r)
-		}
+	m, err := MatchKeys(skeys, tkeys)
+	if err != nil {
+		return nil, err
 	}
-	var tgtCommon []int
-	for r := 0; r < tgt.NumRows(); r++ {
-		k, err := tgt.KeyFor(r, key)
-		if err != nil {
-			return nil, err
-		}
-		if _, ok := sindex[k]; ok {
+	ca := &CommonAlignment{Deleted: m.SrcOnly, Inserted: m.TgtOnly}
+	srcCommon := make([]int, len(m.Pairs))
+	for i, p := range m.Pairs {
+		srcCommon[i] = p[0]
+	}
+	// Common target rows in target row order (Pairs is src-ordered).
+	inserted := make(map[int]bool, len(m.TgtOnly))
+	for _, r := range m.TgtOnly {
+		inserted[r] = true
+	}
+	tgtCommon := make([]int, 0, len(m.Pairs))
+	for r := range tkeys {
+		if !inserted[r] {
 			tgtCommon = append(tgtCommon, r)
-		} else {
-			ca.Inserted = append(ca.Inserted, r)
 		}
 	}
 	fsrc := src.Gather(srcCommon)

@@ -3,6 +3,8 @@ package diff
 import (
 	"errors"
 	"math"
+	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -413,4 +415,37 @@ func TestConcurrentAlignSharedTables(t *testing.T) {
 		}
 	}
 	wg.Wait()
+}
+
+// TestMatchKeys pins the exported row-matching primitive the store's delta
+// encoder and AlignCommon share: pairs in source order, one-sided rows in
+// their own side's order, duplicates rejected with the offending key named.
+func TestMatchKeys(t *testing.T) {
+	m, err := MatchKeys([]string{"a", "b", "c", "e"}, []string{"b", "d", "a", "e"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPairs := [][2]int{{0, 2}, {1, 0}, {3, 3}}
+	if !reflect.DeepEqual(m.Pairs, wantPairs) {
+		t.Errorf("pairs = %v, want %v", m.Pairs, wantPairs)
+	}
+	if !reflect.DeepEqual(m.SrcOnly, []int{2}) {
+		t.Errorf("srcOnly = %v, want [2]", m.SrcOnly)
+	}
+	if !reflect.DeepEqual(m.TgtOnly, []int{1}) {
+		t.Errorf("tgtOnly = %v, want [1]", m.TgtOnly)
+	}
+
+	if _, err := MatchKeys([]string{"a", "a"}, []string{"b"}); err == nil || !strings.Contains(err.Error(), `"a"`) {
+		t.Errorf("duplicate source key: err = %v", err)
+	}
+	if _, err := MatchKeys([]string{"a"}, []string{"b", "b"}); err == nil || !strings.Contains(err.Error(), `"b"`) {
+		t.Errorf("duplicate target key: err = %v", err)
+	}
+
+	// Disjoint and empty inputs.
+	m, err = MatchKeys(nil, []string{"x"})
+	if err != nil || len(m.Pairs) != 0 || len(m.TgtOnly) != 1 {
+		t.Errorf("empty source: %+v, %v", m, err)
+	}
 }

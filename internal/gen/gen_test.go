@@ -336,3 +336,43 @@ func TestChainDeterministicAndPlanted(t *testing.T) {
 		}
 	}
 }
+
+// TestMutateChainDeterministicAndMutating pins the fuzz generator: equal
+// seeds give byte-equal chains, every snapshot keeps the key declaration and
+// at least one row, and consecutive snapshots actually differ.
+func TestMutateChainDeterministicAndMutating(t *testing.T) {
+	a, err := MutateChain(FuzzConfig{N: 20, Steps: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MutateChain(FuzzConfig{N: 20, Steps: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 6 || len(b) != 6 {
+		t.Fatalf("chain lengths = %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Errorf("snapshot %d differs across identical seeds", i)
+		}
+		if a[i].NumRows() == 0 {
+			t.Errorf("snapshot %d is empty", i)
+		}
+		if key := a[i].Key(); len(key) != 1 || key[0] != "id" {
+			t.Errorf("snapshot %d key = %v", i, key)
+		}
+	}
+	for i := 0; i+1 < len(a); i++ {
+		if a[i].Equal(a[i+1]) {
+			t.Errorf("step %d made no change", i)
+		}
+	}
+	c, err := MutateChain(FuzzConfig{N: 20, Steps: 5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[1].Equal(c[1]) {
+		t.Error("different seeds produced identical mutations")
+	}
+}

@@ -117,6 +117,33 @@ func SummarizeAll(snapshots []*table.Table, base core.Options) (*MultiTimeline, 
 	return mergeSteps(snapshots[0], results), nil
 }
 
+// CheckoutSource abstracts a version store that can materialize stored
+// snapshots — the cache-aware checkout path behind store-backed timeline
+// walks. store.Store satisfies it: its Checkout serves warm walks from a
+// size-bounded table LRU, so repeating a timeline does no CSV parsing.
+type CheckoutSource interface {
+	Checkout(id string) (*table.Table, error)
+}
+
+// SummarizeChain materializes the given version ids in order through src
+// (one checkout per id) and summarizes every changed numeric attribute of
+// every consecutive pair via SummarizeAll. It is the store-backed batch
+// timeline: ids usually come from Store.Chain(head).
+func SummarizeChain(src CheckoutSource, ids []string, base core.Options) (*MultiTimeline, error) {
+	if len(ids) < 2 {
+		return nil, fmt.Errorf("history: need at least 2 versions, got %d", len(ids))
+	}
+	snapshots := make([]*table.Table, len(ids))
+	for i, id := range ids {
+		t, err := src.Checkout(id)
+		if err != nil {
+			return nil, fmt.Errorf("history: version %s: %w", id, err)
+		}
+		snapshots[i] = t
+	}
+	return SummarizeAll(snapshots, base)
+}
+
 // forEachStep runs fn for every step index on a pool bounded by workers
 // (≤0 means GOMAXPROCS, clamped to the step count) and returns the earliest
 // failed step's error — deterministic regardless of scheduling. The engine

@@ -1,12 +1,14 @@
 package history
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
 	"charles/internal/core"
 	"charles/internal/diff"
 	"charles/internal/gen"
+	"charles/internal/store"
 	"charles/internal/table"
 )
 
@@ -464,5 +466,64 @@ func TestSummarizeTargetMatchesSequential(t *testing.T) {
 	// all-no-change timeline (the serve layer 400s the same request).
 	if _, err := SummarizeTarget(snaps, "dept", base); err == nil {
 		t.Error("categorical target accepted")
+	}
+}
+
+// TestSummarizeChainMatchesSummarizeAll pins the store-backed timeline
+// entry point: walking version ids through a CheckoutSource must yield a
+// MultiTimeline bit-identical to checking the snapshots out by hand and
+// running SummarizeAll — and the second walk must be parse-free (served
+// from the store's table cache).
+func TestSummarizeChainMatchesSummarizeAll(t *testing.T) {
+	snaps, err := gen.Chain(gen.ChainConfig{N: 40, Steps: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	parent := ""
+	for _, snap := range snaps {
+		v, err := st.Commit(snap, parent, "step")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+		parent = v.ID
+	}
+	base := core.DefaultOptions("")
+	base.CondAttrs = []string{"dept", "grade"}
+	got, err := SummarizeChain(st, ids, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := make([]*table.Table, len(ids))
+	for i, id := range ids {
+		if ref[i], err = st.Checkout(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := SummarizeAll(ref, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("SummarizeChain differs from SummarizeAll over the checked-out snapshots")
+	}
+	parses := st.Stats().Parses
+	if _, err := SummarizeChain(st, ids, base); err != nil {
+		t.Fatal(err)
+	}
+	if again := st.Stats().Parses; again != parses {
+		t.Errorf("second chain walk parsed %d more snapshots, want 0 (cache-served)", again-parses)
+	}
+
+	if _, err := SummarizeChain(st, ids[:1], base); err == nil {
+		t.Error("single-version chain accepted")
+	}
+	if _, err := SummarizeChain(st, []string{"nope", "nope2"}, base); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("unknown id err = %v, want the id named", err)
 	}
 }

@@ -328,6 +328,13 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// statsResponse is the GET /stats body: the summarize-cache counters plus
+// the version store's pack-storage and checkout-cache counters.
+type statsResponse struct {
+	Stats
+	Store store.Stats `json:"store"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.cache.Stats())
+	writeJSON(w, http.StatusOK, statsResponse{Stats: s.cache.Stats(), Store: s.store.Stats()})
 }

@@ -263,3 +263,55 @@ func TestTimelineEmptyBody(t *testing.T) {
 		t.Errorf("empty-body status = %d, want 200", resp.StatusCode)
 	}
 }
+
+// TestTimelineWarmWalkIsParseFree pins the cache-aware checkout path behind
+// POST /timeline: the first walk parses each version once to fill the
+// store's table LRU; any repeat walk — same request or a narrowed target —
+// checks versions out of the cache without parsing a byte of CSV. The
+// counters arrive over GET /stats, whose store section is also pinned here.
+func TestTimelineWarmWalkIsParseFree(t *testing.T) {
+	_, ts := newTestServer(t)
+	snaps, err := gen.Chain(gen.ChainConfig{N: 40, Steps: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	commitChain(t, ts.URL, snaps)
+
+	storeStats := func() store.Stats {
+		t.Helper()
+		resp, body := get(t, ts.URL+"/stats")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stats status %d", resp.StatusCode)
+		}
+		var sr statsResponse
+		if err := json.Unmarshal(body, &sr); err != nil {
+			t.Fatal(err)
+		}
+		return sr.Store
+	}
+
+	if resp, body := postJSON(t, ts.URL+"/timeline", timelineRequest{}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold timeline status %d: %s", resp.StatusCode, body)
+	}
+	cold := storeStats()
+	if cold.Parses != int64(len(snaps)) {
+		t.Fatalf("cold walk parsed %d versions, want %d", cold.Parses, len(snaps))
+	}
+	if cold.Versions != len(snaps) || cold.DeltaPacks == 0 {
+		t.Errorf("store stats = %+v, want %d versions with delta packs", cold, len(snaps))
+	}
+
+	if resp, body := postJSON(t, ts.URL+"/timeline", timelineRequest{}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm timeline status %d: %s", resp.StatusCode, body)
+	}
+	if resp, body := postJSON(t, ts.URL+"/timeline", timelineRequest{Target: "salary"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm single-target timeline status %d: %s", resp.StatusCode, body)
+	}
+	warm := storeStats()
+	if warm.Parses != cold.Parses {
+		t.Errorf("warm walks parsed %d more versions, want 0", warm.Parses-cold.Parses)
+	}
+	if warm.CacheHits <= cold.CacheHits {
+		t.Errorf("warm walks recorded no cache hits (%d -> %d)", cold.CacheHits, warm.CacheHits)
+	}
+}

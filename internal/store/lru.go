@@ -1,0 +1,75 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a size-bounded cache keyed by version id, shared by the
+// decoded-table cache behind Checkout and the reconstructed-blob cache
+// behind Blob. Cached values are the cache's own: table callers clone on
+// the way out (so a hit can never hand two callers aliased mutable
+// buffers), blob callers treat the bytes as immutable. The zero capacity
+// is normalized to 1.
+type lruCache[V any] struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses int64
+}
+
+type lruEntry[V any] struct {
+	id  string
+	val V
+}
+
+func newLRU[V any](capacity int) *lruCache[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache[V]{cap: capacity, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// get returns the cached value for id (the cache's instance — see the type
+// comment for the ownership contract) and whether it was present.
+func (c *lruCache[V]) get(id string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[id]
+	if !ok {
+		c.misses++
+		var zero V
+		return zero, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry[V]).val, true
+}
+
+// add inserts (or refreshes) id's value, evicting the least recently used
+// entries beyond capacity. The caller hands over ownership: it must not
+// mutate the value afterwards.
+func (c *lruCache[V]) add(id string, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[id]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry[V]).val = v
+		return
+	}
+	c.items[id] = c.ll.PushFront(&lruEntry[V]{id: id, val: v})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*lruEntry[V]).id)
+	}
+}
+
+// stats snapshots the counters.
+func (c *lruCache[V]) stats() (hits, misses int64, entries, capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len(), c.cap
+}

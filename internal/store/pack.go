@@ -1,0 +1,405 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"charles/internal/csvio"
+	"charles/internal/diff"
+	"charles/internal/table"
+)
+
+// packFormat tags every pack file so future layout changes stay detectable.
+const packFormat = "charles-pack/1"
+
+// Pack kinds. A full pack carries the complete canonical CSV (an anchor); a
+// delta pack carries only the row-level changes against its base version.
+const (
+	packFull  = "full"
+	packDelta = "delta"
+)
+
+// packMeta is the JSON header line of a pack file (inside the gzip stream).
+type packMeta struct {
+	Format string `json:"format"`
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`           // packFull | packDelta
+	Base   string `json:"base,omitempty"` // delta: version the ops apply to
+	Rows   int    `json:"rows"`           // data rows of the encoded version
+}
+
+// packInfo is the manifest-resident index entry for one pack: everything the
+// store needs to plan reconstruction without opening the file.
+type packInfo struct {
+	Kind    string `json:"kind"`
+	Base    string `json:"base,omitempty"`
+	Depth   int    `json:"depth"`   // delta-chain length back to the anchor (0 = full)
+	Size    int64  `json:"size"`    // encoded pack bytes
+	Logical int64  `json:"logical"` // canonical CSV bytes the pack represents
+}
+
+// deltaOp is one row-level change. Ops are keyed by the encoded primary key
+// and stored sorted, so application is a single merge pass over the base.
+type deltaOp struct {
+	key  string
+	kind byte     // '-' remove, '+' insert, '~' update
+	row  []string // '+': the full CSV record
+	cols []int    // '~': changed column indices
+	vals []string // '~': new cell texts, parallel to cols
+}
+
+// encodePack assembles and compresses a pack file: the JSON meta line
+// followed by either the canonical CSV (full) or the CSV-encoded op list
+// (delta).
+func encodePack(meta packMeta, full []byte, ops []deltaOp) ([]byte, error) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	head, err := json.Marshal(meta)
+	if err != nil {
+		return nil, err
+	}
+	head = append(head, '\n')
+	if _, err := zw.Write(head); err != nil {
+		return nil, err
+	}
+	switch meta.Kind {
+	case packFull:
+		if _, err := zw.Write(full); err != nil {
+			return nil, err
+		}
+	case packDelta:
+		cw := csv.NewWriter(zw)
+		for _, op := range ops {
+			var rec []string
+			switch op.kind {
+			case '-':
+				rec = []string{"-", op.key}
+			case '+':
+				rec = append([]string{"+", op.key}, op.row...)
+			case '~':
+				rec = []string{"~", op.key}
+				for i, c := range op.cols {
+					rec = append(rec, strconv.Itoa(c), op.vals[i])
+				}
+			default:
+				return nil, fmt.Errorf("store: unknown delta op %q", op.kind)
+			}
+			if err := cw.Write(rec); err != nil {
+				return nil, err
+			}
+		}
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("store: unknown pack kind %q", meta.Kind)
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodePack decompresses a pack file into its meta line and raw body.
+func decodePack(data []byte) (packMeta, []byte, error) {
+	var meta packMeta
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return meta, nil, err
+	}
+	defer zr.Close()
+	br := bufio.NewReader(zr)
+	head, err := br.ReadBytes('\n')
+	if err != nil {
+		return meta, nil, fmt.Errorf("pack header: %w", err)
+	}
+	if err := json.Unmarshal(head, &meta); err != nil {
+		return meta, nil, fmt.Errorf("pack header: %w", err)
+	}
+	if meta.Format != packFormat {
+		return meta, nil, fmt.Errorf("pack format %q unsupported", meta.Format)
+	}
+	body, err := io.ReadAll(br)
+	if err != nil {
+		return meta, nil, err
+	}
+	return meta, body, nil
+}
+
+// parseOps decodes a delta pack body back into its op list.
+func parseOps(body []byte) ([]deltaOp, error) {
+	cr := csv.NewReader(bytes.NewReader(body))
+	cr.FieldsPerRecord = -1
+	var ops []deltaOp
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return ops, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("delta op with %d fields", len(rec))
+		}
+		op := deltaOp{key: rec[1]}
+		switch rec[0] {
+		case "-":
+			op.kind = '-'
+		case "+":
+			op.kind = '+'
+			op.row = rec[2:]
+		case "~":
+			op.kind = '~'
+			rest := rec[2:]
+			if len(rest) == 0 || len(rest)%2 != 0 {
+				return nil, fmt.Errorf("update op for key %q has %d fields", op.key, len(rest))
+			}
+			for i := 0; i < len(rest); i += 2 {
+				c, err := strconv.Atoi(rest[i])
+				if err != nil {
+					return nil, fmt.Errorf("update op for key %q: bad column index %q", op.key, rest[i])
+				}
+				op.cols = append(op.cols, c)
+				op.vals = append(op.vals, rest[i+1])
+			}
+		default:
+			return nil, fmt.Errorf("unknown delta op %q", rec[0])
+		}
+		ops = append(ops, op)
+	}
+}
+
+// parseBlob splits a canonical CSV blob into its header and data records.
+func parseBlob(blob []byte) (header []string, rows [][]string, err error) {
+	rr := csvio.NewRowReader(bytes.NewReader(blob))
+	header, err = rr.Header()
+	if err != nil {
+		return nil, nil, err
+	}
+	for {
+		rec, err := rr.Next()
+		if err == io.EOF {
+			return header, rows, nil
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, rec)
+	}
+}
+
+// keyIndices maps key column names to positions in the header record.
+// Canonical blobs write schema names verbatim, so the match is exact — a
+// fuzzy (trimmed) match could bind the key to a similarly named column and
+// silently misorder the reconstruction merge.
+func keyIndices(header, key []string) ([]int, error) {
+	idx := make([]int, len(key))
+	for i, k := range key {
+		pos := -1
+		for ci, name := range header {
+			if name == k {
+				pos = ci
+				break
+			}
+		}
+		if pos < 0 {
+			return nil, fmt.Errorf("key column %q not in header", k)
+		}
+		idx[i] = pos
+	}
+	return idx, nil
+}
+
+// recordKey encodes the primary key of one CSV record exactly as
+// table.KeyFor encodes it from a table row — canonical CSV cells are written
+// with Value.Str, so the texts agree by construction.
+func recordKey(rec []string, keyIdx []int) string {
+	if len(keyIdx) == 1 {
+		return rec[keyIdx[0]]
+	}
+	parts := make([]string, len(keyIdx))
+	for i, ci := range keyIdx {
+		parts[i] = rec[ci]
+	}
+	return strings.Join(parts, table.KeySep)
+}
+
+// recordKeys encodes every record's key.
+func recordKeys(rows [][]string, keyIdx []int) []string {
+	out := make([]string, len(rows))
+	for i, rec := range rows {
+		out[i] = recordKey(rec, keyIdx)
+	}
+	return out
+}
+
+// encodeDelta computes the row-level ops transforming the parent blob into
+// the child blob, matching rows on the encoded primary key. It reports
+// ok=false (with no error) when the pair is not delta-encodable: differing
+// headers (schema change) or duplicate keys on either side — the commit then
+// falls back to a full pack.
+func encodeDelta(parentBlob, childBlob []byte, key []string) (ops []deltaOp, ok bool, err error) {
+	// CR anywhere in either blob forces a full pack: Go's csv.Reader
+	// normalizes "\r\n" to "\n" inside quoted cells, so a parse→re-emit
+	// round-trip of CR-bearing rows would NOT be byte-identical and the
+	// reconstructed blob would no longer hash to the version's content id.
+	// Full packs store the canonical bytes verbatim and are immune.
+	if bytes.IndexByte(parentBlob, '\r') >= 0 || bytes.IndexByte(childBlob, '\r') >= 0 {
+		return nil, false, nil
+	}
+	ph, prows, err := parseBlob(parentBlob)
+	if err != nil {
+		return nil, false, err
+	}
+	ch, crows, err := parseBlob(childBlob)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(ph) != len(ch) {
+		return nil, false, nil
+	}
+	for i := range ph {
+		if ph[i] != ch[i] {
+			return nil, false, nil
+		}
+	}
+	keyIdx, err := keyIndices(ch, key)
+	if err != nil {
+		return nil, false, nil // key not resolvable against this schema: full pack
+	}
+	pkeys := recordKeys(prows, keyIdx)
+	ckeys := recordKeys(crows, keyIdx)
+	m, err := diff.MatchKeys(pkeys, ckeys)
+	if err != nil {
+		return nil, false, nil // duplicate keys: row identity is ambiguous, full pack
+	}
+	for _, r := range m.SrcOnly {
+		ops = append(ops, deltaOp{key: pkeys[r], kind: '-'})
+	}
+	for _, r := range m.TgtOnly {
+		ops = append(ops, deltaOp{key: ckeys[r], kind: '+', row: crows[r]})
+	}
+	for _, p := range m.Pairs {
+		prec, crec := prows[p[0]], crows[p[1]]
+		var cols []int
+		var vals []string
+		for ci := range prec {
+			if prec[ci] != crec[ci] {
+				cols = append(cols, ci)
+				vals = append(vals, crec[ci])
+			}
+		}
+		if len(cols) > 0 {
+			ops = append(ops, deltaOp{key: ckeys[p[1]], kind: '~', cols: cols, vals: vals})
+		}
+	}
+	// Both blobs are key-sorted, so a key-sorted op list lets application be
+	// a single streaming merge.
+	sort.Slice(ops, func(i, j int) bool { return ops[i].key < ops[j].key })
+	return ops, true, nil
+}
+
+// applyDelta reconstructs a child blob by merging the parent blob with a
+// key-sorted op list in one streaming pass. Both the parent and the output
+// are canonical (key-sorted, csv.Writer quoting), so the result is
+// byte-identical to the child's original canonical serialization. wantRows
+// guards against truncated or mismatched packs.
+func applyDelta(parentBlob []byte, ops []deltaOp, key []string, wantRows int) ([]byte, error) {
+	rr := csvio.NewRowReader(bytes.NewReader(parentBlob))
+	header, err := rr.Header()
+	if err != nil {
+		return nil, err
+	}
+	keyIdx, err := keyIndices(header, key)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	ww := csvio.NewRowWriter(&buf)
+	if err := ww.Write(header); err != nil {
+		return nil, err
+	}
+	rows := 0
+	emit := func(rec []string) error {
+		rows++
+		return ww.Write(rec)
+	}
+	oi := 0
+	// insertsBefore drains '+' ops whose key sorts before limit (or all
+	// remaining when limit is empty). Any non-insert op encountered refers
+	// to a key the parent does not have — a corrupt pack.
+	insertsBefore := func(limit string, bounded bool) error {
+		for oi < len(ops) && (!bounded || ops[oi].key < limit) {
+			op := ops[oi]
+			if op.kind != '+' {
+				return fmt.Errorf("op %q for key %q not present in base", op.kind, op.key)
+			}
+			if len(op.row) != len(header) {
+				return fmt.Errorf("insert for key %q has %d fields, want %d", op.key, len(op.row), len(header))
+			}
+			oi++
+			if err := emit(op.row); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for {
+		rec, err := rr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		k := recordKey(rec, keyIdx)
+		if err := insertsBefore(k, true); err != nil {
+			return nil, err
+		}
+		if oi < len(ops) && ops[oi].key == k {
+			op := ops[oi]
+			oi++
+			switch op.kind {
+			case '-':
+				continue
+			case '~':
+				patched := append([]string(nil), rec...)
+				for i, ci := range op.cols {
+					if ci < 0 || ci >= len(patched) {
+						return nil, fmt.Errorf("update for key %q: column %d out of range", k, ci)
+					}
+					patched[ci] = op.vals[i]
+				}
+				if err := emit(patched); err != nil {
+					return nil, err
+				}
+			case '+':
+				return nil, fmt.Errorf("insert for key %q already present in base", k)
+			}
+			continue
+		}
+		if err := emit(rec); err != nil {
+			return nil, err
+		}
+	}
+	if err := insertsBefore("", false); err != nil {
+		return nil, err
+	}
+	if err := ww.Flush(); err != nil {
+		return nil, err
+	}
+	if rows != wantRows {
+		return nil, fmt.Errorf("reconstructed %d rows, pack declares %d", rows, wantRows)
+	}
+	return buf.Bytes(), nil
+}

@@ -6,10 +6,14 @@
 // any two versions in the history can be diffed and semantically
 // summarized.
 //
-// Storage is deliberately simple and inspectable: each version is a full
-// CSV blob plus a JSON manifest (id, parent, message, key, sequence); with
-// a directory configured the store persists across processes, without one
-// it is memory-only.
+// Storage is delta-encoded: each version is a gzip-compressed pack file
+// holding either the full canonical CSV (an anchor) or the row-level
+// changes — inserted, removed, and cell-patched rows keyed by the primary
+// key — against its parent. Anchor snapshots recur every AnchorEvery
+// commits so reconstruction chains stay bounded, and checkouts are served
+// through a size-bounded LRU of decoded tables, so walking a version chain
+// parses each snapshot at most once. Stores written by the legacy
+// one-CSV-per-version layout are migrated to packs transparently on Open.
 //
 // A Store is safe for concurrent use: reads (Checkout, Get, Log, Lineage,
 // Diff, Summarize) take a shared lock, Commit takes an exclusive lock, and
@@ -28,7 +32,9 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"charles/internal/core"
 	"charles/internal/csvio"
@@ -40,11 +46,50 @@ import (
 var ErrNotFound = errors.New("store: version not found")
 
 // ErrLineageConflict is returned by Commit when content addressing dedups
-// to an existing version whose parent differs from the requested one: the
+// to an existing version with a different parent: the
 // caller asked for a lineage the store cannot honor without rewriting
 // history, so the conflict is reported instead of silently returning a
 // version with different ancestry.
 var ErrLineageConflict = errors.New("store: lineage conflict")
+
+// ErrCorruptStore is returned (wrapped, with the offending version id) when
+// a version's on-disk data is missing, unreadable, or inconsistent with the
+// manifest — a store that would previously fail with an anonymous IO error,
+// or worse, skip the version. Nothing is silently dropped: the caller
+// learns exactly which version is damaged.
+var ErrCorruptStore = errors.New("store: corrupt store")
+
+// DefaultAnchorEvery is the default anchor interval: a delta chain reaching
+// this length is cut by storing the next commit as a full snapshot.
+const DefaultAnchorEvery = 8
+
+// DefaultTableCache is the default Checkout LRU capacity (decoded tables).
+const DefaultTableCache = 32
+
+// storeFormat tags the v2 (pack-backed) manifest.
+const storeFormat = "charles-store/2"
+
+// Options tune a store opened with OpenWith.
+type Options struct {
+	// AnchorEvery bounds delta chains: a commit whose chain back to the
+	// nearest full snapshot would reach this length is stored full instead.
+	// 1 stores every version as a full pack (the legacy behavior, minus the
+	// compression); 0 means DefaultAnchorEvery.
+	AnchorEvery int
+	// TableCache is the Checkout LRU capacity in decoded tables
+	// (0 means DefaultTableCache).
+	TableCache int
+}
+
+func (o Options) withDefaults() Options {
+	if o.AnchorEvery <= 0 {
+		o.AnchorEvery = DefaultAnchorEvery
+	}
+	if o.TableCache <= 0 {
+		o.TableCache = DefaultTableCache
+	}
+	return o
+}
 
 // Version describes one committed snapshot.
 type Version struct {
@@ -57,49 +102,182 @@ type Version struct {
 	Cols    int      `json:"cols"`
 }
 
+// manifestV2 is the on-disk manifest: version metadata plus the pack index
+// (kind, base, depth, sizes) the reconstruction planner reads.
+type manifestV2 struct {
+	Format   string               `json:"format"`
+	Versions []*Version           `json:"versions"`
+	Packs    map[string]*packInfo `json:"packs"`
+}
+
 // Store is a lineage of table versions. It is safe for concurrent use.
 type Store struct {
-	dir string // "" = memory only
+	dir  string // "" = memory only
+	opts Options
 
 	mu       sync.RWMutex
 	versions map[string]*Version
-	blobs    map[string][]byte // id -> canonical CSV
+	packs    map[string]*packInfo
+	mem      map[string][]byte // id -> encoded pack (memory-only stores)
 	order    []string          // ids in commit order
+
+	tables *lruCache[*table.Table] // decoded-table LRU behind Checkout
+	blobs  *lruCache[[]byte]       // reconstructed-blob LRU behind Blob
+	parses atomic.Int64            // CSV parses performed (cache misses)
 }
 
-// Open creates a store. With a non-empty dir, existing versions are loaded
-// and future commits are persisted there.
-func Open(dir string) (*Store, error) {
-	s := &Store{dir: dir, versions: map[string]*Version{}, blobs: map[string][]byte{}}
+// Open creates a store with default options. With a non-empty dir, existing
+// versions are loaded and future commits are persisted there; a legacy
+// per-version-CSV directory is migrated to the pack layout.
+func Open(dir string) (*Store, error) { return OpenWith(dir, Options{}) }
+
+// OpenWith is Open with explicit anchor-interval and cache tuning.
+func OpenWith(dir string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	s := &Store{
+		dir:      dir,
+		opts:     opts,
+		versions: map[string]*Version{},
+		packs:    map[string]*packInfo{},
+		tables:   newLRU[*table.Table](opts.TableCache),
+		blobs:    newLRU[[]byte](opts.TableCache),
+	}
 	if dir == "" {
+		s.mem = map[string][]byte{}
 		return s, nil
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := os.MkdirAll(s.packDir(), 0o755); err != nil {
 		return nil, err
 	}
-	manifest := filepath.Join(dir, "manifest.json")
-	data, err := os.ReadFile(manifest)
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
 	if errors.Is(err, os.ErrNotExist) {
 		return s, nil
 	}
 	if err != nil {
 		return nil, err
 	}
-	var versions []*Version
-	if err := json.Unmarshal(data, &versions); err != nil {
+	trimmed := bytes.TrimLeftFunc(data, func(r rune) bool { return r == ' ' || r == '\t' || r == '\n' || r == '\r' })
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		if err := s.migrateLegacy(trimmed); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	var m manifestV2
+	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("store: corrupt manifest: %w", err)
 	}
-	sort.Slice(versions, func(i, j int) bool { return versions[i].Seq < versions[j].Seq })
-	for _, v := range versions {
-		blob, err := os.ReadFile(filepath.Join(dir, v.ID+".csv"))
-		if err != nil {
-			return nil, fmt.Errorf("store: version %s blob: %w", v.ID, err)
+	if m.Format != storeFormat {
+		return nil, fmt.Errorf("store: manifest format %q unsupported", m.Format)
+	}
+	sort.Slice(m.Versions, func(i, j int) bool { return m.Versions[i].Seq < m.Versions[j].Seq })
+	for _, v := range m.Versions {
+		pi := m.Packs[v.ID]
+		if pi == nil {
+			return nil, fmt.Errorf("%w: version %s has no pack index entry", ErrCorruptStore, v.ID)
+		}
+		if _, err := os.Stat(s.packPath(v.ID)); err != nil {
+			return nil, fmt.Errorf("%w: version %s: pack file: %v", ErrCorruptStore, v.ID, err)
 		}
 		s.versions[v.ID] = v
-		s.blobs[v.ID] = blob
+		s.packs[v.ID] = pi
 		s.order = append(s.order, v.ID)
 	}
 	return s, nil
+}
+
+func (s *Store) packDir() string             { return filepath.Join(s.dir, "packs") }
+func (s *Store) packPath(id string) string   { return filepath.Join(s.packDir(), id+".pack") }
+func (s *Store) legacyPath(id string) string { return filepath.Join(s.dir, id+".csv") }
+
+// migrateLegacy converts a legacy per-version-CSV directory (array-shaped
+// manifest, one <id>.csv per version) into the pack layout: each version is
+// re-encoded as a delta against its parent where possible, the v2 manifest
+// is written, and the legacy CSV files are left in place for GC to reclaim.
+// A version whose CSV is missing, unreadable, or hash-inconsistent with its
+// id surfaces as ErrCorruptStore instead of being skipped.
+func (s *Store) migrateLegacy(manifest []byte) error {
+	var versions []*Version
+	if err := json.Unmarshal(manifest, &versions); err != nil {
+		return fmt.Errorf("store: corrupt manifest: %w", err)
+	}
+	sort.Slice(versions, func(i, j int) bool { return versions[i].Seq < versions[j].Seq })
+	blobs := make(map[string][]byte, len(versions))
+	for _, v := range versions {
+		blob, err := os.ReadFile(s.legacyPath(v.ID))
+		if err != nil {
+			return fmt.Errorf("%w: version %s: blob: %v", ErrCorruptStore, v.ID, err)
+		}
+		if got := contentID(blob, v.Key); got != v.ID {
+			return fmt.Errorf("%w: version %s: blob content hashes to %s", ErrCorruptStore, v.ID, got)
+		}
+		blobs[v.ID] = blob
+	}
+	for _, v := range versions {
+		data, pi, err := s.buildPack(v, blobs[v.ID], s.versions[v.Parent], s.packs[v.Parent], blobs[v.Parent])
+		if err != nil {
+			return fmt.Errorf("store: migrating version %s: %w", v.ID, err)
+		}
+		if err := os.WriteFile(s.packPath(v.ID), data, 0o644); err != nil {
+			return err
+		}
+		s.versions[v.ID] = v
+		s.packs[v.ID] = pi
+		s.order = append(s.order, v.ID)
+	}
+	return s.writeManifest()
+}
+
+// buildPack encodes a version's pack: a delta against its parent when the
+// parent exists, shares the key declaration, stays under the anchor
+// interval, and actually delta-encodes (same schema, unique keys) — and a
+// full anchor otherwise. When a delta would be larger than the compressed
+// full snapshot (pathological churn), the full pack wins. Parent state is
+// passed in explicitly (version metadata, pack index entry, reconstructed
+// blob — all immutable once committed), so encoding needs no store lock.
+func (s *Store) buildPack(v *Version, blob []byte, pv *Version, pi *packInfo, pblob []byte) ([]byte, *packInfo, error) {
+	meta := packMeta{Format: packFormat, ID: v.ID, Kind: packFull, Rows: v.Rows}
+	info := &packInfo{Kind: packFull, Logical: int64(len(blob))}
+	var deltaData []byte
+	if v.Parent != "" && pv != nil && pi != nil &&
+		pi.Depth+1 < s.opts.AnchorEvery && equalKey(pv.Key, v.Key) && pblob != nil {
+		ops, ok, err := encodeDelta(pblob, blob, v.Key)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ok {
+			dmeta := meta
+			dmeta.Kind, dmeta.Base = packDelta, v.Parent
+			deltaData, err = encodePack(dmeta, nil, ops)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	fullData, err := encodePack(meta, blob, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	if deltaData != nil && len(deltaData) < len(fullData) {
+		info.Kind, info.Base = packDelta, v.Parent
+		info.Depth = pi.Depth + 1
+		info.Size = int64(len(deltaData))
+		return deltaData, info, nil
+	}
+	info.Size = int64(len(fullData))
+	return fullData, info, nil
+}
+
+func equalKey(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Commit stores a snapshot and returns its version. The table's primary key
@@ -112,21 +290,68 @@ func (s *Store) Commit(t *table.Table, parent, message string) (*Version, error)
 	if len(t.Key()) == 0 {
 		return nil, fmt.Errorf("store: table has no primary key; SetKey before committing")
 	}
-	// Serialization is pure and the table is caller-owned, so hash outside
-	// the lock; only the map/order/persist mutation is exclusive.
+	// Serialization, hashing, and pack encoding are all pure functions of
+	// immutable inputs (the caller-owned table, the parent's already
+	// committed pack chain), so they run outside the exclusive lock; only
+	// validation and the map/order/persist mutation are locked.
 	blob, err := canonicalCSV(t)
 	if err != nil {
 		return nil, err
 	}
 	id := contentID(blob, t.Key())
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	// Phase 1 (shared lock): validate the parent and snapshot the parent
+	// state the encoder needs.
+	s.mu.RLock()
+	parentOK := parent == ""
+	existing := s.versions[id]
+	var pv *Version
+	var ppi *packInfo
 	if parent != "" {
-		if _, ok := s.versions[parent]; !ok {
-			return nil, fmt.Errorf("%w: parent %q", ErrNotFound, parent)
+		if pv = s.versions[parent]; pv != nil {
+			parentOK = true
+			ppi = s.packs[parent]
 		}
 	}
+	s.mu.RUnlock()
+	if !parentOK {
+		return nil, fmt.Errorf("%w: parent %q", ErrNotFound, parent)
+	}
+	if existing != nil {
+		// Early dedup/conflict: the content is already committed, so skip
+		// the encode entirely. (Version records are immutable once
+		// registered; phase 3 re-checks for commits racing this one.)
+		if existing.Parent != parent {
+			return nil, fmt.Errorf("%w: content %s already committed with parent %q, requested parent %q",
+				ErrLineageConflict, id, existing.Parent, parent)
+		}
+		return existing, nil
+	}
+
+	// Phase 2 (no lock): fetch the parent blob — usually a blob-cache hit,
+	// since chain workloads just committed it — and encode the pack. Packs
+	// are immutable once committed, so nothing here can go stale.
+	var pblob []byte
+	if ppi != nil && pv != nil && ppi.Depth+1 < s.opts.AnchorEvery && equalKey(pv.Key, t.Key()) {
+		if pblob, err = s.blobFor(parent); err != nil {
+			return nil, err
+		}
+	}
+	v := &Version{
+		ID: id, Parent: parent, Message: message,
+		Key:  t.Key(),
+		Rows: t.NumRows(), Cols: t.NumCols(),
+	}
+	pack, pi, err := s.buildPack(v, blob, pv, ppi, pblob)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 3 (exclusive lock): re-check dedup/conflict — a concurrent
+	// commit may have landed the same content meanwhile — then register
+	// and persist.
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if existing, ok := s.versions[id]; ok {
 		if existing.Parent != parent {
 			return nil, fmt.Errorf("%w: content %s already committed with parent %q, requested parent %q",
@@ -134,74 +359,208 @@ func (s *Store) Commit(t *table.Table, parent, message string) (*Version, error)
 		}
 		return existing, nil
 	}
-	v := &Version{
-		ID: id, Parent: parent, Message: message,
-		Seq: len(s.order) + 1, Key: t.Key(),
-		Rows: t.NumRows(), Cols: t.NumCols(),
-	}
+	v.Seq = len(s.order) + 1
 	s.versions[id] = v
-	s.blobs[id] = blob
+	s.packs[id] = pi
 	s.order = append(s.order, id)
-	if s.dir != "" {
-		if err := s.persist(v, blob); err != nil {
-			// Roll the registration back: a version that never reached disk
-			// must not linger in memory, or a retry would dedup to it and
-			// leave the manifest referencing a blob that was never written
-			// (making the store unopenable after restart).
-			delete(s.versions, id)
-			delete(s.blobs, id)
-			s.order = s.order[:len(s.order)-1]
-			return nil, err
-		}
+	if s.dir == "" {
+		s.mem[id] = pack
+	} else if err := s.persist(v, pack); err != nil {
+		// Roll the registration back: a version that never reached disk
+		// must not linger in memory, or a retry would dedup to it and
+		// leave the manifest referencing a pack that was never written
+		// (making the store unopenable after restart).
+		delete(s.versions, id)
+		delete(s.packs, id)
+		s.order = s.order[:len(s.order)-1]
+		return nil, err
 	}
+	// Warm the blob cache: a chain workload's next commit delta-encodes
+	// against exactly this blob, and serve's CSV endpoint is likely to ask
+	// for the newest version first.
+	s.blobs.add(id, blob)
 	return v, nil
 }
 
-func (s *Store) persist(v *Version, blob []byte) error {
-	if err := os.WriteFile(filepath.Join(s.dir, v.ID+".csv"), blob, 0o644); err != nil {
+func (s *Store) persist(v *Version, pack []byte) error {
+	if err := os.WriteFile(s.packPath(v.ID), pack, 0o644); err != nil {
 		return err
 	}
-	var versions []*Version
+	return s.writeManifest()
+}
+
+// writeManifest serializes the v2 manifest via write-to-temp + rename, so a
+// crash mid-write can never leave a truncated manifest behind (migration
+// rewrites the manifest of a previously healthy store — a torn write there
+// would make every version unreadable). Caller holds the write lock (or is
+// single-threaded in Open).
+func (s *Store) writeManifest() error {
+	m := manifestV2{Format: storeFormat, Packs: s.packs}
 	for _, id := range s.order {
-		versions = append(versions, s.versions[id])
+		m.Versions = append(m.Versions, s.versions[id])
 	}
-	data, err := json.MarshalIndent(versions, "", "  ")
+	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(s.dir, "manifest.json"), data, 0o644)
+	tmp := filepath.Join(s.dir, "manifest.json.tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(s.dir, "manifest.json"))
 }
 
-// Blob returns the canonical CSV serialization stored under id. The bytes
-// are immutable once committed; callers must not modify them.
-func (s *Store) Blob(id string) ([]byte, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	blob, ok := s.blobs[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+// packLink is one step of a reconstruction plan: the pack to decode and the
+// metadata needed to apply it.
+type packLink struct {
+	id   string
+	mem  []byte // encoded pack for memory stores (nil on disk stores)
+	key  []string
+	rows int
+}
+
+// chainLocked plans the reconstruction of id: the pack chain from id back
+// to its nearest full anchor (id first). Caller holds s.mu (read or write).
+func (s *Store) chainLocked(id string) ([]packLink, error) {
+	var chain []packLink
+	cur := id
+	for {
+		v, vok := s.versions[cur]
+		pi, pok := s.packs[cur]
+		if !vok || !pok {
+			return nil, fmt.Errorf("%w: version %s: pack chain references unknown version %s", ErrCorruptStore, id, cur)
+		}
+		chain = append(chain, packLink{id: cur, mem: s.mem[cur], key: v.Key, rows: v.Rows})
+		if pi.Kind == packFull {
+			return chain, nil
+		}
+		if pi.Base == "" || len(chain) > len(s.packs) {
+			return nil, fmt.Errorf("%w: version %s: delta chain is cyclic or unanchored", ErrCorruptStore, id)
+		}
+		cur = pi.Base
+	}
+}
+
+// reconstruct materializes the canonical CSV blob of chain[0] by decoding
+// the anchor and applying the deltas forward. It takes no locks: pack files
+// and memory pack slices are immutable once committed.
+func (s *Store) reconstruct(chain []packLink) ([]byte, error) {
+	var blob []byte
+	for i := len(chain) - 1; i >= 0; i-- {
+		link := chain[i]
+		data := link.mem
+		if data == nil {
+			var err error
+			data, err = os.ReadFile(s.packPath(link.id))
+			if err != nil {
+				return nil, fmt.Errorf("%w: version %s: pack file: %v", ErrCorruptStore, link.id, err)
+			}
+		}
+		meta, body, err := decodePack(data)
+		if err != nil {
+			return nil, fmt.Errorf("%w: version %s: %v", ErrCorruptStore, link.id, err)
+		}
+		if meta.ID != link.id {
+			return nil, fmt.Errorf("%w: version %s: pack holds %s", ErrCorruptStore, link.id, meta.ID)
+		}
+		switch meta.Kind {
+		case packFull:
+			blob = body
+		case packDelta:
+			if blob == nil {
+				return nil, fmt.Errorf("%w: version %s: delta pack with no anchor below it", ErrCorruptStore, link.id)
+			}
+			ops, err := parseOps(body)
+			if err != nil {
+				return nil, fmt.Errorf("%w: version %s: %v", ErrCorruptStore, link.id, err)
+			}
+			blob, err = applyDelta(blob, ops, link.key, link.rows)
+			if err != nil {
+				return nil, fmt.Errorf("%w: version %s: %v", ErrCorruptStore, link.id, err)
+			}
+		default:
+			return nil, fmt.Errorf("%w: version %s: unknown pack kind %q", ErrCorruptStore, link.id, meta.Kind)
+		}
 	}
 	return blob, nil
 }
 
-// Checkout reconstructs the table stored under id.
-func (s *Store) Checkout(id string) (*table.Table, error) {
+// plan looks id up and snapshots its reconstruction chain under the shared
+// lock, so the (slow, immutable-input) decode can run off-lock. Unknown ids
+// report ErrNotFound before any corruption diagnosis.
+func (s *Store) plan(id string) (*Version, []packLink, error) {
 	s.mu.RLock()
 	v, ok := s.versions[id]
-	var blob []byte
+	var chain []packLink
+	var err error
 	if ok {
-		blob = s.blobs[id]
+		chain, err = s.chainLocked(id)
 	}
 	s.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+		return nil, nil, fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
-	// Blobs are immutable after commit, so parsing happens off-lock.
+	if err != nil {
+		return nil, nil, err
+	}
+	return v, chain, nil
+}
+
+// blobFor returns id's canonical blob through the blob LRU, reconstructing
+// (and caching) it on a miss. The returned bytes are shared and immutable.
+func (s *Store) blobFor(id string) ([]byte, error) {
+	if blob, ok := s.blobs.get(id); ok {
+		return blob, nil
+	}
+	v, chain, err := s.plan(id)
+	if err != nil {
+		return nil, err
+	}
+	// Pack data is immutable once committed, so decoding runs off-lock.
+	blob, err := s.reconstruct(chain)
+	if err != nil {
+		return nil, err
+	}
+	// The version id IS the hash of the canonical blob, so re-hashing
+	// catches any decodable-but-wrong reconstruction (tampered pack body,
+	// codec regression) before the bytes are cached or served — not just
+	// the packs that fail to decode.
+	if got := contentID(blob, v.Key); got != id {
+		return nil, fmt.Errorf("%w: version %s: reconstructed blob hashes to %s", ErrCorruptStore, id, got)
+	}
+	s.blobs.add(id, blob)
+	return blob, nil
+}
+
+// Blob returns the canonical CSV serialization stored under id,
+// reconstructing it from the pack chain on a cache miss. The bytes are
+// immutable once committed; callers must not modify them.
+func (s *Store) Blob(id string) ([]byte, error) {
+	return s.blobFor(id)
+}
+
+// Checkout reconstructs the table stored under id. Decoded tables are kept
+// in an LRU, and every caller gets a private clone — a warm checkout does
+// no CSV parsing, and no two callers ever share mutable buffers.
+func (s *Store) Checkout(id string) (*table.Table, error) {
+	if t, ok := s.tables.get(id); ok {
+		return t.Clone(), nil
+	}
+	v, err := s.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := s.blobFor(id)
+	if err != nil {
+		return nil, err
+	}
+	s.parses.Add(1)
 	t, err := csvio.Read(bytes.NewReader(blob), csvio.Options{Key: v.Key})
 	if err != nil {
 		return nil, fmt.Errorf("store: version %s: %w", id, err)
 	}
-	return t, nil
+	s.tables.add(id, t)
+	return t.Clone(), nil
 }
 
 // Get returns the version metadata for id.
@@ -296,6 +655,112 @@ func (s *Store) Summarize(fromID, toID string, opts core.Options) ([]core.Ranked
 		return nil, err
 	}
 	return core.SummarizeAligned(a, opts)
+}
+
+// Stats reports the storage and cache state: how many packs are full
+// anchors vs deltas, how many bytes the packs occupy against the logical
+// (canonical CSV) bytes they represent, and the Checkout cache counters.
+type Stats struct {
+	Versions      int     `json:"versions"`
+	FullPacks     int     `json:"fullPacks"`
+	DeltaPacks    int     `json:"deltaPacks"`
+	PackBytes     int64   `json:"packBytes"`
+	LogicalBytes  int64   `json:"logicalBytes"`
+	Compression   float64 `json:"compression"` // LogicalBytes / PackBytes
+	CacheHits     int64   `json:"cacheHits"`
+	CacheMisses   int64   `json:"cacheMisses"`
+	Parses        int64   `json:"parses"` // CSV parses (each a cache miss filled)
+	CacheEntries  int     `json:"cacheEntries"`
+	CacheCapacity int     `json:"cacheCapacity"`
+}
+
+// Stats snapshots the store's storage and cache counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	st := Stats{Versions: len(s.order)}
+	for _, pi := range s.packs {
+		if pi.Kind == packDelta {
+			st.DeltaPacks++
+		} else {
+			st.FullPacks++
+		}
+		st.PackBytes += pi.Size
+		st.LogicalBytes += pi.Logical
+	}
+	s.mu.RUnlock()
+	if st.PackBytes > 0 {
+		st.Compression = float64(st.LogicalBytes) / float64(st.PackBytes)
+	}
+	st.CacheHits, st.CacheMisses, st.CacheEntries, st.CacheCapacity = s.tables.stats()
+	st.Parses = s.parses.Load()
+	return st
+}
+
+// GCReport summarizes what GC reclaimed.
+type GCReport struct {
+	LegacyFiles    int   `json:"legacyFiles"` // migrated per-version CSVs removed
+	OrphanPacks    int   `json:"orphanPacks"` // pack files no manifest entry references
+	BytesReclaimed int64 `json:"bytesReclaimed"`
+}
+
+// GC removes storage the pack layout has superseded: legacy <id>.csv blobs
+// left behind by migration, and orphaned pack files (from rolled-back
+// commits) that no manifest entry references. Memory-only stores have
+// nothing to collect.
+func (s *Store) GC() (GCReport, error) {
+	var rep GCReport
+	if s.dir == "" {
+		return rep, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return rep, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".csv") {
+			continue
+		}
+		id := strings.TrimSuffix(name, ".csv")
+		if _, ok := s.versions[id]; !ok {
+			continue // not ours: leave stray user files alone
+		}
+		info, err := e.Info()
+		if err != nil {
+			return rep, err
+		}
+		if err := os.Remove(filepath.Join(s.dir, name)); err != nil {
+			return rep, err
+		}
+		rep.LegacyFiles++
+		rep.BytesReclaimed += info.Size()
+	}
+	packs, err := os.ReadDir(s.packDir())
+	if err != nil {
+		return rep, err
+	}
+	for _, e := range packs {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".pack") {
+			continue
+		}
+		id := strings.TrimSuffix(name, ".pack")
+		if _, ok := s.packs[id]; ok {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			return rep, err
+		}
+		if err := os.Remove(filepath.Join(s.packDir(), name)); err != nil {
+			return rep, err
+		}
+		rep.OrphanPacks++
+		rep.BytesReclaimed += info.Size()
+	}
+	return rep, nil
 }
 
 // canonicalCSV serializes a table deterministically (rows sorted by primary

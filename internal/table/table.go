@@ -178,6 +178,12 @@ func (t *Table) KeyOf(row int) (string, error) {
 	return t.KeyFor(row, t.key)
 }
 
+// KeySep joins the per-column parts of a multi-column encoded key. Exported
+// so code that re-derives keys from other representations of a row (the
+// store's pack codec encodes them from raw canonical-CSV cells) provably
+// matches KeyOf/KeyFor.
+const KeySep = "\x1f"
+
 // KeyFor encodes the values of cols at row in the same format KeyOf uses for
 // the declared key, without consulting or touching the key declaration — so
 // a table can be matched against another table's key purely read-only.
@@ -202,7 +208,7 @@ func (t *Table) KeyFor(row int, cols []string) (string, error) {
 		}
 		parts[i] = v.Str()
 	}
-	return strings.Join(parts, "\x1f"), nil
+	return strings.Join(parts, KeySep), nil
 }
 
 // KeyIndexFor builds and returns an encoded-key → row index over cols,

@@ -1,22 +1,50 @@
 package charles
 
 import (
+	"charles/internal/history"
 	"charles/internal/predicate"
 	"charles/internal/store"
 )
 
 // VersionStore is a bolt-on lineage of table snapshots (OrpheusDB-style):
 // commit versions, walk history, and summarize the change between any two
-// of them. See OpenStore.
+// of them. Versions persist as delta-encoded pack files with periodic full
+// anchors, and checkouts are served through a table LRU. See OpenStore.
 type VersionStore = store.Store
 
 // Version describes one committed snapshot in a VersionStore.
 type Version = store.Version
 
+// StoreOptions tune a version store's anchor interval and checkout cache.
+type StoreOptions = store.Options
+
+// StoreStats reports a store's pack storage and checkout-cache counters.
+type StoreStats = store.Stats
+
+// GCReport summarizes what VersionStore.GC reclaimed.
+type GCReport = store.GCReport
+
+// ErrCorruptStore is reported (wrapped, naming the version) when stored
+// data is missing, unreadable, or inconsistent with the manifest.
+var ErrCorruptStore = store.ErrCorruptStore
+
 // OpenStore opens (or creates) a snapshot version store. With a non-empty
 // directory versions persist across processes; with "" the store is
-// memory-only.
+// memory-only. Legacy one-CSV-per-version directories are migrated to the
+// pack layout on open.
 func OpenStore(dir string) (*VersionStore, error) { return store.Open(dir) }
+
+// OpenStoreWith is OpenStore with explicit anchor-interval / cache tuning.
+func OpenStoreWith(dir string, opts StoreOptions) (*VersionStore, error) {
+	return store.OpenWith(dir, opts)
+}
+
+// SummarizeTimelineChain walks the stored version ids in order (warm walks
+// are served from the store's table cache without parsing) and summarizes
+// every changed numeric attribute of every consecutive pair.
+func SummarizeTimelineChain(src *VersionStore, ids []string, base Options) (*MultiTimeline, error) {
+	return history.SummarizeChain(src, ids, base)
+}
 
 // Predicate is a conjunctive condition over table attributes — the
 // condition half of a CT, also usable standalone for filtering.
