@@ -160,6 +160,95 @@ func BenchmarkTimeline(b *testing.B) {
 	}
 }
 
+// diffChainStore commits the 50-step chain into a memory store tuned so the
+// whole chain stays delta-encoded (one anchor at the root) and warms every
+// cache with one pass over the adjacent pairs — the steady state both diff
+// benchmarks measure.
+func diffChainStore(b *testing.B) (*VersionStore, []string) {
+	b.Helper()
+	snaps, err := ChainDataset(ChainConfig{N: 120, Steps: 50, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := OpenStoreWith("", StoreOptions{TableCache: len(snaps), AnchorEvery: len(snaps) + 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]string, 0, len(snaps))
+	parent := ""
+	for _, snap := range snaps {
+		v, err := st.Commit(snap, parent, "step")
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+		parent = v.ID
+	}
+	for i := 0; i+1 < len(ids); i++ {
+		if _, native, err := st.DiffResult(ids[i], ids[i+1], 1e-9); err != nil || !native {
+			b.Fatalf("pair %d: native=%v err=%v", i, native, err)
+		}
+		if _, err := st.Checkout(ids[i+1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return st, ids
+}
+
+// BenchmarkDiffChain50 times warm change queries over every adjacent pair of
+// a 50-step delta-encoded chain. A cold query is assembled delta-natively —
+// decoded ops from the ChangeSet cache plus one shared parent table, no
+// target reconstruction, no CSV parse, no full row alignment — and the
+// finished answer is memoized (versions are immutable, so it never goes
+// stale); the warm steady state this records is the answer-cache path.
+// Compare BenchmarkDiffChain50Align, the uncached checkout+align path
+// answering the identical queries; the ratio is the speedup recorded in
+// BENCH_baseline.json. In CI it runs one iteration under -race.
+func BenchmarkDiffChain50(b *testing.B) {
+	st, ids := diffChainStore(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j+1 < len(ids); j++ {
+			res, native, err := st.DiffResult(ids[j], ids[j+1], 1e-9)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !native || res.UpdateDistance == 0 {
+				b.Fatalf("pair %d: native=%v distance=%d", j, native, res.UpdateDistance)
+			}
+		}
+	}
+}
+
+// BenchmarkDiffChain50Align answers exactly the queries of
+// BenchmarkDiffChain50 through the classic path: check both versions out
+// (warm table-LRU clones) and align the full row sets.
+func BenchmarkDiffChain50Align(b *testing.B) {
+	st, ids := diffChainStore(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j+1 < len(ids); j++ {
+			src, err := st.Checkout(ids[j])
+			if err != nil {
+				b.Fatal(err)
+			}
+			tgt, err := st.Checkout(ids[j+1])
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := DiffSnapshots(src, tgt, 1e-9)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.UpdateDistance == 0 {
+				b.Fatalf("pair %d: empty diff", j)
+			}
+		}
+	}
+}
+
 // BenchmarkStoreChain50 times a full root→head checkout walk of a 50-step
 // version chain stored delta-encoded: the timeline read pattern. The first
 // iteration reconstructs and parses every version once; every later walk is

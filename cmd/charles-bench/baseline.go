@@ -61,6 +61,8 @@ func writeBaseline(path string) error {
 		{"Align5k", benchAlign5k},
 		{"Timeline8x4", benchTimeline8x4},
 		{"StoreChain50", benchStoreChain50},
+		{"DiffChain50", benchDiffChain50},
+		{"DiffChain50Align", benchDiffChain50Align},
 	}
 	for _, bench := range benches {
 		fmt.Fprintf(os.Stderr, "measuring %s...\n", bench.name)
@@ -166,6 +168,87 @@ func benchStoreChain50(b *testing.B) {
 		for _, v := range chain {
 			if _, err := st.Checkout(v.ID); err != nil {
 				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// diffChainStore commits the 50-step chain into a memory store that keeps
+// the whole chain delta-encoded and warms every cache with one pass over the
+// adjacent pairs.
+func diffChainStore(b *testing.B) (*charles.VersionStore, []string) {
+	b.Helper()
+	snaps, err := charles.ChainDataset(charles.ChainConfig{N: 120, Steps: 50, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := charles.OpenStoreWith("", charles.StoreOptions{TableCache: len(snaps), AnchorEvery: len(snaps) + 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]string, 0, len(snaps))
+	parent := ""
+	for _, snap := range snaps {
+		v, err := st.Commit(snap, parent, "step")
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+		parent = v.ID
+	}
+	for i := 0; i+1 < len(ids); i++ {
+		if _, native, err := st.DiffResult(ids[i], ids[i+1], 1e-9); err != nil || !native {
+			b.Fatalf("pair %d: native=%v err=%v", i, native, err)
+		}
+		if _, err := st.Checkout(ids[i+1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return st, ids
+}
+
+// benchDiffChain50 mirrors BenchmarkDiffChain50: warm change queries over
+// every adjacent pair of the 50-step chain — cold queries assembled
+// delta-natively from the packs' ops, warm repeats from the answer cache.
+func benchDiffChain50(b *testing.B) {
+	st, ids := diffChainStore(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j+1 < len(ids); j++ {
+			res, _, err := st.DiffResult(ids[j], ids[j+1], 1e-9)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.UpdateDistance == 0 {
+				b.Fatalf("pair %d: empty diff", j)
+			}
+		}
+	}
+}
+
+// benchDiffChain50Align mirrors BenchmarkDiffChain50Align: the identical
+// queries through the classic checkout+align path.
+func benchDiffChain50Align(b *testing.B) {
+	st, ids := diffChainStore(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j+1 < len(ids); j++ {
+			src, err := st.Checkout(ids[j])
+			if err != nil {
+				b.Fatal(err)
+			}
+			tgt, err := st.Checkout(ids[j+1])
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := charles.DiffSnapshots(src, tgt, 1e-9)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.UpdateDistance == 0 {
+				b.Fatalf("pair %d: empty diff", j)
 			}
 		}
 	}

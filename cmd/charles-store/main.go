@@ -7,6 +7,7 @@
 //	charles-store -dir .charles commit   -csv 2016.csv -key name [-parent <id>] [-m "2016 snapshot"]
 //	charles-store -dir .charles log
 //	charles-store -dir .charles checkout -id <id> -out snapshot.csv
+//	charles-store -dir .charles changes  -id <id>
 //	charles-store -dir .charles diff      -from <id> -to <id> -target bonus
 //	charles-store -dir .charles summarize -from <id> -to <id> -target bonus [-alpha 0.5] [-topk 10]
 //	charles-store -dir .charles timeline  [-head <id>] [-target bonus] [-alpha 0.5] [-topk 10]
@@ -14,7 +15,10 @@
 //	charles-store -dir .charles gc
 //
 // Versions are stored as delta-encoded pack files (full anchors every few
-// commits); stats reports pack counts, on-disk vs logical bytes, and the
+// commits); changes prints a version's decoded delta ops straight from its
+// pack, and diff serves change queries from the delta ops whenever the two
+// versions are delta-connected (checkout+align otherwise — same answer).
+// stats reports pack counts, on-disk vs logical bytes, and the
 // checkout-cache counters, and gc reclaims legacy per-version CSVs left by
 // migration plus orphaned packs.
 package main
@@ -73,6 +77,8 @@ func main() {
 		cmdLog(st)
 	case "checkout":
 		cmdCheckout(st, rest)
+	case "changes":
+		cmdChanges(st, rest)
 	case "diff":
 		cmdDiff(st, rest)
 	case "summarize":
@@ -138,6 +144,45 @@ func cmdCheckout(st *charles.VersionStore, args []string) {
 	fmt.Printf("wrote %s (%d rows)\n", *out, t.NumRows())
 }
 
+// cmdChanges prints a version's decoded delta ops straight from its pack —
+// no snapshot reconstruction, no alignment.
+func cmdChanges(st *charles.VersionStore, args []string) {
+	fs := flag.NewFlagSet("changes", flag.ExitOnError)
+	id := fs.String("id", "", "version id")
+	mustParse(fs, args)
+	if *id == "" {
+		fatal(fmt.Errorf("changes needs -id"))
+	}
+	cs, err := st.Changes(*id)
+	if err != nil {
+		fatal(err)
+	}
+	if cs.Materialized {
+		fmt.Printf("%s is materialized (full snapshot): no delta ops; use diff against its parent\n", cs.Version)
+		return
+	}
+	fmt.Printf("%s vs parent %s:\n", cs.Version, cs.Base)
+	for _, k := range cs.Removed {
+		fmt.Printf("  - %s\n", k)
+	}
+	for _, ins := range cs.Inserted {
+		fmt.Printf("  + %s  %s\n", ins.Key, strings.Join(ins.Cells, ","))
+	}
+	for _, p := range cs.Patched {
+		fmt.Printf("  ~ %s ", p.Key)
+		for i, ci := range p.Cols {
+			if ci < 0 || ci >= len(cs.Columns) {
+				// Same verdict the serve endpoint gives: an op pointing
+				// beyond the header is corruption, not data.
+				fatal(fmt.Errorf("version %s: patch column %d beyond header (corrupt store)", cs.Version, ci))
+			}
+			fmt.Printf(" %s=%q", cs.Columns[ci], p.Vals[i])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%d removed, %d inserted, %d patched\n", len(cs.Removed), len(cs.Inserted), len(cs.Patched))
+}
+
 func cmdDiff(st *charles.VersionStore, args []string) {
 	fs := flag.NewFlagSet("diff", flag.ExitOnError)
 	from := fs.String("from", "", "source version id")
@@ -147,31 +192,32 @@ func cmdDiff(st *charles.VersionStore, args []string) {
 	if *from == "" || *to == "" {
 		fatal(fmt.Errorf("diff needs -from and -to"))
 	}
-	a, err := st.Diff(*from, *to)
+	res, native, err := st.DiffResult(*from, *to, 1e-9)
 	if err != nil {
 		fatal(err)
+	}
+	path := "checkout+align"
+	if native {
+		path = "delta-native"
 	}
 	if *target != "" {
-		changes, err := a.Changes(*target, 1e-9)
-		if err != nil {
-			fatal(err)
+		if !res.HasColumn(*target) {
+			fatal(fmt.Errorf("no column %q", *target))
 		}
+		changes := res.ChangesFor(*target)
 		for _, ch := range changes {
-			k, _ := a.Source.KeyOf(ch.SrcRow)
-			fmt.Printf("%s: %s %v -> %v\n", k, ch.Attr, ch.Old, ch.New)
+			fmt.Printf("%s: %s %v -> %v\n", ch.Key, ch.Attr, ch.Old, ch.New)
 		}
-		fmt.Printf("%d changed cells of %s\n", len(changes), *target)
+		fmt.Printf("%d changed cells of %s (%s)\n", len(changes), *target, path)
 		return
 	}
-	ud, err := a.UpdateDistance(1e-9)
-	if err != nil {
-		fatal(err)
+	if len(res.Removed) > 0 {
+		fmt.Printf("removed entities: %v\n", res.Removed)
 	}
-	attrs, err := a.ChangedAttrs(1e-9)
-	if err != nil {
-		fatal(err)
+	if len(res.Inserted) > 0 {
+		fmt.Printf("inserted entities: %v\n", res.Inserted)
 	}
-	fmt.Printf("update distance: %d cell modifications across %v\n", ud, attrs)
+	fmt.Printf("update distance: %d cell modifications across %v (%s)\n", res.UpdateDistance, res.ChangedAttrs, path)
 }
 
 func cmdSummarize(st *charles.VersionStore, args []string) {
@@ -299,7 +345,7 @@ func mustParse(fs *flag.FlagSet, args []string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: charles-store [-dir DIR] {commit|log|checkout|diff|summarize|timeline|stats|gc} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: charles-store [-dir DIR] {commit|log|checkout|changes|diff|summarize|timeline|stats|gc} [flags]")
 	os.Exit(2)
 }
 

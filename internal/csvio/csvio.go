@@ -72,7 +72,7 @@ func Read(r io.Reader, opts Options) (*table.Table, error) {
 			return nil, fmt.Errorf("csvio: row %d has %d fields, want %d", ri+2, len(rec), len(header))
 		}
 		for ci, cell := range rec {
-			v, err := parseCell(cell, schema[ci].Type)
+			v, err := ParseCell(cell, schema[ci].Type)
 			if err != nil {
 				return nil, fmt.Errorf("csvio: row %d column %q: %w", ri+2, schema[ci].Name, err)
 			}
@@ -137,51 +137,89 @@ func WriteFile(path string, t *table.Table) error {
 	return f.Close()
 }
 
-// inferType chooses the narrowest type that parses every non-empty cell of
-// column ci: Bool ⊂ Int ⊂ Float ⊂ String.
-func inferType(rows [][]string, ci int) table.Type {
-	isInt, isFloat, isBool := true, true, true
-	seen := false
-	for _, rec := range rows {
-		if ci >= len(rec) {
-			continue
+// typeGuess accumulates per-cell evidence for type inference. The zero value
+// starts with every candidate type still possible.
+type typeGuess struct {
+	isInt, isFloat, isBool bool
+	seen                   bool
+	settled                bool // String decided; further cells are irrelevant
+}
+
+func newTypeGuess() typeGuess { return typeGuess{isInt: true, isFloat: true, isBool: true} }
+
+// observe folds one raw cell into the guess. Empty (null) cells carry no
+// evidence.
+func (g *typeGuess) observe(cell string) {
+	cell = strings.TrimSpace(cell)
+	if cell == "" || g.settled {
+		return
+	}
+	g.seen = true
+	low := strings.ToLower(cell)
+	if low != "true" && low != "false" {
+		g.isBool = false
+	}
+	num, ok := normalizeNumber(cell)
+	if !ok {
+		g.isInt, g.isFloat = false, false
+	} else {
+		if _, err := strconv.ParseInt(num, 10, 64); err != nil {
+			g.isInt = false
 		}
-		cell := strings.TrimSpace(rec[ci])
-		if cell == "" {
-			continue
-		}
-		seen = true
-		low := strings.ToLower(cell)
-		if low != "true" && low != "false" {
-			isBool = false
-		}
-		num, ok := normalizeNumber(cell)
-		if !ok {
-			isInt, isFloat = false, false
-		} else {
-			if _, err := strconv.ParseInt(num, 10, 64); err != nil {
-				isInt = false
-			}
-			if _, err := strconv.ParseFloat(num, 64); err != nil {
-				isFloat = false
-			}
-		}
-		if !isBool && !isFloat {
-			return table.String
+		if _, err := strconv.ParseFloat(num, 64); err != nil {
+			g.isFloat = false
 		}
 	}
+	if !g.isBool && !g.isFloat {
+		g.settled = true
+	}
+}
+
+// result picks the narrowest surviving type: Bool ⊂ Int ⊂ Float ⊂ String.
+func (g *typeGuess) result() table.Type {
 	switch {
-	case !seen:
+	case g.settled, !g.seen:
 		return table.String
-	case isBool:
+	case g.isBool:
 		return table.Bool
-	case isInt:
+	case g.isInt:
 		return table.Int
-	case isFloat:
+	case g.isFloat:
 		return table.Float
 	default:
 		return table.String
 	}
+}
+
+// inferType chooses the narrowest type that parses every non-empty cell of
+// column ci: Bool ⊂ Int ⊂ Float ⊂ String.
+func inferType(rows [][]string, ci int) table.Type {
+	g := newTypeGuess()
+	for _, rec := range rows {
+		if ci >= len(rec) {
+			continue
+		}
+		g.observe(rec[ci])
+		if g.settled {
+			break
+		}
+	}
+	return g.result()
+}
+
+// InferCells runs Read's column type inference over a bare cell slice — the
+// same Bool ⊂ Int ⊂ Float ⊂ String lattice, empty cells skipped. Exported so
+// delta-native snapshot materialization (diff.ApplyChangeSet) can reproduce
+// exactly the type a checkout of the equivalent CSV would infer.
+func InferCells(cells []string) table.Type {
+	g := newTypeGuess()
+	for _, cell := range cells {
+		g.observe(cell)
+		if g.settled {
+			break
+		}
+	}
+	return g.result()
 }
 
 // normalizeNumber strips currency symbols, thousands separators, percent
@@ -212,9 +250,12 @@ func normalizeNumber(s string) (string, bool) {
 	return s, true
 }
 
-// parseCell converts one CSV cell to a Value of the target type. Empty cells
-// become nulls.
-func parseCell(cell string, t table.Type) (table.Value, error) {
+// ParseCell converts one CSV cell to a Value of the target type, exactly as
+// Read does for a typed column: cells are whitespace-trimmed, empty cells
+// become nulls, and numeric decorations (currency, separators, percent) are
+// normalized away. Exported so the delta-native diff path can turn delta-op
+// cell texts into the same Values a checkout of the child snapshot yields.
+func ParseCell(cell string, t table.Type) (table.Value, error) {
 	cell = strings.TrimSpace(cell)
 	if cell == "" {
 		return table.Null(t), nil

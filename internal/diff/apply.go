@@ -1,0 +1,251 @@
+package diff
+
+import (
+	"fmt"
+	"sort"
+
+	"charles/internal/csvio"
+	"charles/internal/table"
+)
+
+// ApplyChangeSet materializes a child snapshot by applying one ChangeSet to
+// its parent table in memory — the delta-native replacement for checking the
+// child out of the store (blob reconstruction plus a full CSV parse). The
+// result is identical to that checkout, row order included: the parent must
+// be in canonical (key-sorted) layout, ops merge in key order, and every
+// column whose cell multiset changed is re-inferred with exactly the CSV
+// reader's type lattice, so a patch that removes a column's only non-numeric
+// text narrows the column just as a re-parse would.
+//
+// Inputs the ops cannot reproduce faithfully — cells that do not parse under
+// the parent schema (the checkout would widen the column), non-canonical key
+// texts (the applied row order could diverge from the checkout's), ops
+// contradicting the parent row set — return ErrNotDeltaNative-wrapped
+// errors; callers fall back to a plain checkout.
+func ApplyChangeSet(parent *table.Table, cs *ChangeSet) (*table.Table, error) {
+	if cs == nil || cs.Materialized {
+		return nil, fmt.Errorf("%w: version is materialized", ErrNotDeltaNative)
+	}
+	key := parent.Key()
+	if len(key) == 0 {
+		return nil, ErrNoKey
+	}
+	schema := parent.Schema()
+	norm, err := newKeyNormalizer(parent, key)
+	if err != nil {
+		return nil, err
+	}
+	keyCol := make([]bool, len(schema))
+	for ci, f := range schema {
+		for _, k := range key {
+			if f.Name == k {
+				keyCol[ci] = true
+			}
+		}
+	}
+
+	// Normalize the ops into lookup form, insisting on canonical key texts.
+	removes := make(map[string]bool, len(cs.Removed))
+	for _, raw := range cs.Removed {
+		k, err := norm.normalizeStable(raw)
+		if err != nil {
+			return nil, err
+		}
+		removes[k] = true
+	}
+	patches := make(map[string]map[int]string, len(cs.Patched))
+	for _, p := range cs.Patched {
+		k, err := norm.normalizeStable(p.Key)
+		if err != nil {
+			return nil, err
+		}
+		if len(p.Cols) != len(p.Vals) {
+			return nil, fmt.Errorf("%w: patch for key %q has %d columns, %d values", ErrNotDeltaNative, k, len(p.Cols), len(p.Vals))
+		}
+		cells := make(map[int]string, len(p.Cols))
+		for i, ci := range p.Cols {
+			if ci < 0 || ci >= len(schema) {
+				return nil, fmt.Errorf("%w: patch for key %q: column %d out of range", ErrNotDeltaNative, k, ci)
+			}
+			if keyCol[ci] {
+				return nil, fmt.Errorf("%w: patch for key %q rewrites key column %q", ErrNotDeltaNative, k, schema[ci].Name)
+			}
+			cells[ci] = p.Vals[i]
+		}
+		patches[k] = cells
+	}
+	type insert struct {
+		key   string
+		cells []string
+	}
+	inserts := make([]insert, 0, len(cs.Inserted))
+	for _, ins := range cs.Inserted {
+		k, err := norm.normalizeStable(ins.Key)
+		if err != nil {
+			return nil, err
+		}
+		if len(ins.Cells) != len(schema) {
+			return nil, fmt.Errorf("%w: insert for key %q has %d cells, want %d", ErrNotDeltaNative, k, len(ins.Cells), len(schema))
+		}
+		if ik, err := norm.keyFromCells(ins.Cells); err != nil {
+			return nil, err
+		} else if ik != k {
+			return nil, fmt.Errorf("%w: inserted key %q disagrees with its key cells (%q)", ErrNotDeltaNative, k, ik)
+		}
+		inserts = append(inserts, insert{key: k, cells: ins.Cells})
+	}
+	sort.Slice(inserts, func(i, j int) bool { return inserts[i].key < inserts[j].key })
+
+	// The parent must be canonically key-sorted, or the merged row order
+	// cannot match the child checkout's.
+	n := parent.NumRows()
+	pkeys := make([]string, n)
+	for r := 0; r < n; r++ {
+		k, err := parent.KeyFor(r, key)
+		if err != nil {
+			return nil, err
+		}
+		if r > 0 && pkeys[r-1] >= k {
+			return nil, fmt.Errorf("%w: parent rows are not key-sorted", ErrNotDeltaNative)
+		}
+		pkeys[r] = k
+	}
+
+	// Merge parent rows with the sorted inserts, dropping removed keys.
+	// refs[i] >= 0 is a parent row; refs[i] < 0 is insert ^refs[i].
+	if len(removes) > n {
+		return nil, fmt.Errorf("%w: %d removed key(s) exceed the base's %d rows", ErrNotDeltaNative, len(removes), n)
+	}
+	refs := make([]int, 0, n+len(inserts)-len(removes))
+	matchedRemoves, matchedPatches := 0, 0
+	ii := 0
+	for r := 0; r < n; r++ {
+		k := pkeys[r]
+		for ii < len(inserts) && inserts[ii].key < k {
+			refs = append(refs, ^ii)
+			ii++
+		}
+		if ii < len(inserts) && inserts[ii].key == k {
+			return nil, fmt.Errorf("%w: inserted key %q already in base", ErrNotDeltaNative, k)
+		}
+		if removes[k] {
+			matchedRemoves++
+			if patches[k] != nil {
+				return nil, fmt.Errorf("%w: key %q both removed and patched", ErrNotDeltaNative, k)
+			}
+			continue
+		}
+		if patches[k] != nil {
+			matchedPatches++
+		}
+		refs = append(refs, r)
+	}
+	for ; ii < len(inserts); ii++ {
+		refs = append(refs, ^ii)
+	}
+	if matchedRemoves != len(removes) {
+		return nil, fmt.Errorf("%w: %d removed key(s) not in base", ErrNotDeltaNative, len(removes)-matchedRemoves)
+	}
+	if matchedPatches != len(patches) {
+		return nil, fmt.Errorf("%w: %d patched key(s) not in base", ErrNotDeltaNative, len(patches)-matchedPatches)
+	}
+
+	// cellText reproduces the child's canonical CSV cell for (ref, ci):
+	// the raw op text for inserted and patched cells, Value.Str otherwise.
+	cellText := func(ref, ci int) string {
+		if ref < 0 {
+			return inserts[^ref].cells[ci]
+		}
+		if cells := patches[pkeys[ref]]; cells != nil {
+			if v, ok := cells[ci]; ok {
+				return v
+			}
+		}
+		col := parent.ColumnAt(ci)
+		if col.IsNull(ref) {
+			return ""
+		}
+		return col.Value(ref).Str()
+	}
+
+	// Re-infer the type of every column whose cell multiset changed, so the
+	// applied table's types are exactly what a CSV re-parse of the child
+	// would infer: a removed row may have carried the one cell that pinned a
+	// column wide, an inserted cell can widen a column or give an all-null
+	// one its first real type, and a patch can do either. Rows added or
+	// removed touch every column (keys included); otherwise only the patched
+	// columns can move.
+	candidate := make([]bool, len(schema))
+	if len(removes) > 0 || len(inserts) > 0 {
+		for ci := range candidate {
+			candidate[ci] = true
+		}
+	} else {
+		for _, cells := range patches {
+			for ci := range cells {
+				candidate[ci] = true
+			}
+		}
+	}
+	outSchema := append(table.Schema(nil), schema...)
+	retyped := false
+	texts := make([]string, len(refs))
+	for ci := range schema {
+		if !candidate[ci] {
+			continue
+		}
+		for i, ref := range refs {
+			texts[i] = cellText(ref, ci)
+		}
+		if ft := csvio.InferCells(texts); ft != schema[ci].Type {
+			outSchema[ci].Type = ft
+			retyped = true
+		}
+	}
+
+	// Fast path: pure cell patches with stable types — clone and overwrite.
+	if len(inserts) == 0 && len(removes) == 0 && !retyped {
+		out := parent.Clone()
+		for k, cells := range patches {
+			r := sort.SearchStrings(pkeys, k) // verified present above
+			for ci, val := range cells {
+				v, err := csvio.ParseCell(val, schema[ci].Type)
+				if err != nil {
+					return nil, fmt.Errorf("%w: key %q column %q: %v", ErrNotDeltaNative, k, schema[ci].Name, err)
+				}
+				if err := out.ColumnAt(ci).Set(r, v); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return out, nil
+	}
+
+	out, err := table.New(outSchema)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]table.Value, len(schema))
+	for _, ref := range refs {
+		for ci := range schema {
+			if ref >= 0 && outSchema[ci].Type == schema[ci].Type {
+				if _, patched := patches[pkeys[ref]][ci]; !patched {
+					vals[ci] = parent.ColumnAt(ci).Value(ref)
+					continue
+				}
+			}
+			v, err := csvio.ParseCell(cellText(ref, ci), outSchema[ci].Type)
+			if err != nil {
+				return nil, fmt.Errorf("%w: column %q: %v", ErrNotDeltaNative, outSchema[ci].Name, err)
+			}
+			vals[ci] = v
+		}
+		if err := out.AppendRow(vals...); err != nil {
+			return nil, err
+		}
+	}
+	if err := out.SetKey(key...); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

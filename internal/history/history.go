@@ -125,21 +125,95 @@ type CheckoutSource interface {
 	Checkout(id string) (*table.Table, error)
 }
 
-// SummarizeChain materializes the given version ids in order through src
-// (one checkout per id) and summarizes every changed numeric attribute of
-// every consecutive pair via SummarizeAll. It is the store-backed batch
-// timeline: ids usually come from Store.Chain(head).
-func SummarizeChain(src CheckoutSource, ids []string, base core.Options) (*MultiTimeline, error) {
-	if len(ids) < 2 {
-		return nil, fmt.Errorf("history: need at least 2 versions, got %d", len(ids))
-	}
-	snapshots := make([]*table.Table, len(ids))
+// DeltaSource is a CheckoutSource that can additionally serve a version's
+// decoded delta ops (store.Store satisfies it). Chain materialization uses
+// the ops to derive each snapshot incrementally from its predecessor instead
+// of reconstructing and parsing every version from storage.
+type DeltaSource interface {
+	CheckoutSource
+	// DeltaOps returns id's decoded row-level ops against its base version,
+	// with Materialized set for versions stored whole. The result is shared:
+	// callers must not mutate it.
+	DeltaOps(id string) (*diff.ChangeSet, error)
+}
+
+// CachedCheckoutSource is a CheckoutSource that can report whether a
+// snapshot is already decoded and resident (store.Store satisfies it), so a
+// materializer can prefer the cheap warm path over re-applying deltas.
+type CachedCheckoutSource interface {
+	CheckoutCached(id string) (*table.Table, bool)
+}
+
+// SnapshotAdmitter is a source that can verify an externally materialized
+// snapshot against its content id and adopt it into its own caches
+// (store.Store satisfies it). Chain materialization runs every
+// delta-applied table through it, so a decodable-but-tampered delta pack
+// cannot slip wrong data into a timeline — a failed check falls back to
+// Checkout, which verifies the raw bytes and surfaces real corruption as an
+// error — and a verified walk warms the same table cache a parsing walk
+// would, keeping repeat walks on the cheap CheckoutCached clone path.
+type SnapshotAdmitter interface {
+	AdmitSnapshot(id string, t *table.Table) error
+}
+
+// MaterializeChain materializes the version ids in order, delta-natively
+// where possible: the first id (and every id whose table is already cached)
+// is checked out, and each subsequent id is derived by applying its delta
+// ops to the previous snapshot — so a cold walk of an n-version chain does
+// one CSV parse at the root instead of n. Anchors, versions whose ops do not
+// apply cleanly (diff.ApplyChangeSet's canonical-encoding requirements), and
+// plain CheckoutSources fall back to a regular checkout per id. The returned
+// tables are identical to per-id checkouts, row order included.
+func MaterializeChain(src CheckoutSource, ids []string) ([]*table.Table, error) {
+	ds, _ := src.(DeltaSource)
+	cc, _ := src.(CachedCheckoutSource)
+	sa, _ := src.(SnapshotAdmitter)
+	out := make([]*table.Table, len(ids))
 	for i, id := range ids {
+		if cc != nil {
+			if t, ok := cc.CheckoutCached(id); ok {
+				out[i] = t
+				continue
+			}
+		}
+		if i > 0 && ds != nil {
+			if cs, err := ds.DeltaOps(id); err == nil && !cs.Materialized && cs.Base == ids[i-1] {
+				if t, err := diff.ApplyChangeSet(out[i-1], cs); err == nil {
+					// Applied tables carry the same tamper-evidence as
+					// checkouts: verify against the content id before
+					// trusting them (a failure falls through to Checkout,
+					// which verifies the raw bytes itself), and admit the
+					// verified table into the source's cache so the next
+					// walk takes the warm clone path.
+					if sa == nil || sa.AdmitSnapshot(id, t) == nil {
+						out[i] = t
+						continue
+					}
+				}
+			}
+		}
 		t, err := src.Checkout(id)
 		if err != nil {
 			return nil, fmt.Errorf("history: version %s: %w", id, err)
 		}
-		snapshots[i] = t
+		out[i] = t
+	}
+	return out, nil
+}
+
+// SummarizeChain materializes the given version ids in order through src —
+// delta-natively when src is a DeltaSource: one checkout at the chain root,
+// then step-by-step application of each version's ChangeSet — and summarizes
+// every changed numeric attribute of every consecutive pair via
+// SummarizeAll. It is the store-backed batch timeline: ids usually come from
+// Store.Chain(head).
+func SummarizeChain(src CheckoutSource, ids []string, base core.Options) (*MultiTimeline, error) {
+	if len(ids) < 2 {
+		return nil, fmt.Errorf("history: need at least 2 versions, got %d", len(ids))
+	}
+	snapshots, err := MaterializeChain(src, ids)
+	if err != nil {
+		return nil, err
 	}
 	return SummarizeAll(snapshots, base)
 }

@@ -527,3 +527,139 @@ func TestSummarizeChainMatchesSummarizeAll(t *testing.T) {
 		t.Errorf("unknown id err = %v, want the id named", err)
 	}
 }
+
+// TestMaterializeChainMatchesCheckout is the delta-materialization
+// differential: on random mutation chains (cell edits, inserts, deletes,
+// adversarial string cells, anchors mid-chain), MaterializeChain must
+// return exactly the tables per-id checkouts return — schema types, values,
+// and row order — whichever mix of delta application, verification
+// fallback, and anchor checkout each version takes. The raw
+// diff.ApplyChangeSet path is additionally differenced directly against
+// checkouts (bypassing the verification policy), so the adversarial cells
+// exercise the apply codec itself.
+func TestMaterializeChainMatchesCheckout(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		st, err := store.OpenWith("", store.Options{AnchorEvery: 4, TableCache: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps, err := gen.MutateChain(gen.FuzzConfig{N: 25, Steps: 7, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ids []string
+		parent := ""
+		for _, snap := range snaps {
+			v, err := st.Commit(snap, parent, "step")
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, v.ID)
+			parent = v.ID
+		}
+		// The table cache is cold right after committing (commits warm only
+		// the blob cache), so this walk exercises delta application.
+		got, err := MaterializeChain(st, ids)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i, id := range ids {
+			want, err := st.Checkout(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got[i].Equal(want) {
+				t.Fatalf("seed %d: materialized version %d (%s) differs from its checkout", seed, i, id)
+			}
+			if !got[i].Schema().Equal(want.Schema()) {
+				t.Fatalf("seed %d: version %d schema types diverged", seed, i)
+			}
+		}
+		// Direct apply differential over every delta version.
+		applied := 0
+		for i := 1; i < len(ids); i++ {
+			cs, err := st.DeltaOps(ids[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cs.Materialized || cs.Base != ids[i-1] {
+				continue
+			}
+			base, err := st.Checkout(ids[i-1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			next, err := diff.ApplyChangeSet(base, cs)
+			if err != nil {
+				continue // non-canonical key texts: fallback contract, not a bug
+			}
+			want, err := st.Checkout(ids[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !next.Equal(want) {
+				t.Fatalf("seed %d: ApplyChangeSet of version %d differs from its checkout", seed, i)
+			}
+			applied++
+		}
+		if applied == 0 {
+			t.Fatalf("seed %d: no delta version applied; apply codec untested", seed)
+		}
+	}
+}
+
+// TestMaterializeChainIsParseFreeOnCanonicalChains pins the cold-walk win on
+// canonical-text data (everything the serve path commits): one CSV parse at
+// the chain root, every later version derived by verified delta application.
+func TestMaterializeChainIsParseFreeOnCanonicalChains(t *testing.T) {
+	st, err := store.OpenWith("", store.Options{AnchorEvery: 16, TableCache: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := gen.Chain(gen.ChainConfig{N: 40, Steps: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	parent := ""
+	for _, snap := range snaps {
+		v, err := st.Commit(snap, parent, "step")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+		parent = v.ID
+	}
+	got, err := MaterializeChain(st, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parses := st.Stats().Parses; parses != 1 {
+		t.Errorf("cold canonical walk parsed %d versions, want 1 (root only)", parses)
+	}
+	// Verified applied tables were admitted into the table LRU, so a repeat
+	// walk is all warm clone hits: no parsing, no re-application.
+	hitsBefore := st.Stats().CacheHits
+	again, err := MaterializeChain(st, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parses := st.Stats().Parses; parses != 1 {
+		t.Errorf("warm walk parsed %d more versions, want 0", parses-1)
+	}
+	if hits := st.Stats().CacheHits; hits < hitsBefore+int64(len(ids)) {
+		t.Errorf("warm walk hit the table cache %d times, want ≥ %d (one per version)", hits-hitsBefore, len(ids))
+	}
+	for i, id := range ids {
+		want, err := st.Checkout(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got[i].Equal(want) {
+			t.Fatalf("materialized version %d (%s) differs from its checkout", i, id)
+		}
+		if !again[i].Equal(want) {
+			t.Fatalf("warm-walk version %d (%s) differs from its checkout", i, id)
+		}
+	}
+}

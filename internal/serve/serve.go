@@ -7,16 +7,23 @@
 //
 // Endpoints:
 //
-//	POST /versions            commit a CSV snapshot {csv, key, parent?, message?}
-//	GET  /versions            log, commit order
-//	GET  /versions/{id}       version metadata
-//	GET  /versions/{id}/csv   checkout the canonical CSV
-//	GET  /diff?from=&to=      update distance + changed attrs (&target= for cells)
-//	POST /summarize           {from, to, target, alpha?, c?, t?, topk?}
-//	POST /timeline            {head?, target?, alpha?, c?, t?, topk?} — walk
-//	                          the lineage root→head and summarize every step
-//	GET  /stats               cache hit/miss/execution counters
-//	GET  /healthz             liveness
+//	POST /versions               commit a CSV snapshot {csv, key, parent?, message?}
+//	GET  /versions               log, commit order
+//	GET  /versions/{id}          version metadata
+//	GET  /versions/{id}/csv      checkout the canonical CSV
+//	GET  /versions/{id}/changes  the version's decoded delta ops (ChangeSet)
+//	GET  /diff?from=&to=         removed/inserted keys, update distance, changed
+//	                             attrs (&target= for cells) — served straight
+//	                             from pack deltas when the pair is
+//	                             delta-connected, checkout+align otherwise
+//	POST /summarize              {from, to, target, alpha?, c?, t?, topk?}
+//	POST /timeline               {head?, target?, alpha?, c?, t?, topk?} — walk
+//	                             the lineage root→head and summarize every step
+//	GET  /stats                  cache hit/miss/execution counters
+//	GET  /healthz                liveness
+//
+// Wrong-method requests are answered uniformly on every route: 405 with an
+// Allow header and the JSON error envelope.
 package serve
 
 import (
@@ -25,6 +32,7 @@ import (
 	"fmt"
 	"io/fs"
 	"net/http"
+	"sort"
 	"strings"
 
 	"charles/internal/core"
@@ -57,17 +65,42 @@ func NewServer(st *store.Store, cacheSize int) *Server {
 	}
 	s := &Server{store: st, cache: newResultCache(cacheSize)}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /versions", s.handleCommit)
-	mux.HandleFunc("GET /versions", s.handleLog)
-	mux.HandleFunc("GET /versions/{id}", s.handleVersion)
-	mux.HandleFunc("GET /versions/{id}/csv", s.handleCheckout)
-	mux.HandleFunc("GET /diff", s.handleDiff)
-	mux.HandleFunc("POST /summarize", s.handleSummarize)
-	mux.HandleFunc("POST /timeline", s.handleTimeline)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	routes := []struct {
+		method, pattern string
+		h               http.HandlerFunc
+	}{
+		{"POST", "/versions", s.handleCommit},
+		{"GET", "/versions", s.handleLog},
+		{"GET", "/versions/{id}", s.handleVersion},
+		{"GET", "/versions/{id}/csv", s.handleCheckout},
+		{"GET", "/versions/{id}/changes", s.handleChanges},
+		{"GET", "/diff", s.handleDiff},
+		{"POST", "/summarize", s.handleSummarize},
+		{"POST", "/timeline", s.handleTimeline},
+		{"GET", "/stats", s.handleStats},
+		{"GET", "/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		}},
+	}
+	allowed := map[string][]string{}
+	for _, r := range routes {
+		mux.HandleFunc(r.method+" "+r.pattern, r.h)
+		allowed[r.pattern] = append(allowed[r.pattern], r.method)
+	}
+	// Every route also gets a method-agnostic fallback, so a wrong-method
+	// request is answered uniformly on every endpoint: 405, an Allow header
+	// listing the methods that would work, and the JSON error envelope
+	// (instead of net/http's plain-text default).
+	for pattern, methods := range allowed {
+		sort.Strings(methods)
+		allow := strings.Join(methods, ", ")
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Allow", allow)
+			writeJSON(w, http.StatusMethodNotAllowed, errorJSON{
+				Error: fmt.Sprintf("method %s not allowed (allow: %s)", r.Method, allow),
+			})
+		})
+	}
 	s.mux = mux
 	return s
 }
@@ -95,9 +128,9 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 // writeError maps store/engine errors onto HTTP status codes: unknown ids
-// are 404, lineage conflicts 409, server-side IO failures (persist hitting
-// a full or broken disk) 500, and everything else — malformed bodies, CSV
-// parse errors, engine option validation — 400.
+// are 404, lineage conflicts 409, server-side damage — corrupt stored data,
+// IO failures (persist hitting a full or broken disk) — 500, and everything
+// else — malformed bodies, CSV parse errors, engine option validation — 400.
 func writeError(w http.ResponseWriter, err error) {
 	var pathErr *fs.PathError
 	code := http.StatusBadRequest
@@ -106,7 +139,7 @@ func writeError(w http.ResponseWriter, err error) {
 		code = http.StatusNotFound
 	case errors.Is(err, store.ErrLineageConflict):
 		code = http.StatusConflict
-	case errors.As(err, &pathErr):
+	case errors.Is(err, store.ErrCorruptStore), errors.As(err, &pathErr):
 		code = http.StatusInternalServerError
 	}
 	writeJSON(w, code, errorJSON{Error: err.Error()})
@@ -195,13 +228,19 @@ func (s *Server) handleCheckout(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(blob)
 }
 
-// diffResponse is the GET /diff body.
+// diffResponse is the GET /diff body. DeltaNative reports whether the
+// answer was assembled straight from the store's delta packs (one parent
+// checkout, no target reconstruction or alignment) or through the
+// checkout+align fallback — the two paths return identical answers.
 type diffResponse struct {
 	From           string       `json:"from"`
 	To             string       `json:"to"`
+	DeltaNative    bool         `json:"deltaNative"`
 	UpdateDistance int          `json:"updateDistance"`
 	ChangedAttrs   []string     `json:"changedAttrs"`
-	Changes        []changeJSON `json:"changes,omitempty"` // with &target=
+	Removed        []string     `json:"removed,omitempty"`  // keys only in from
+	Inserted       []string     `json:"inserted,omitempty"` // keys only in to
+	Changes        []changeJSON `json:"changes,omitempty"`  // with &target=
 }
 
 type changeJSON struct {
@@ -217,41 +256,93 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errors.New("diff needs from and to"))
 		return
 	}
-	a, err := s.store.Diff(from, to)
+	res, native, err := s.store.DiffResult(from, to, timelineTol)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	ud, err := a.UpdateDistance(1e-9)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	attrs, err := a.ChangedAttrs(1e-9)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
+	attrs := res.ChangedAttrs
 	if attrs == nil {
 		attrs = []string{}
 	}
-	resp := diffResponse{From: from, To: to, UpdateDistance: ud, ChangedAttrs: attrs}
+	resp := diffResponse{
+		From: from, To: to, DeltaNative: native,
+		UpdateDistance: res.UpdateDistance, ChangedAttrs: attrs,
+		Removed: res.Removed, Inserted: res.Inserted,
+	}
 	if target := r.URL.Query().Get("target"); target != "" {
-		changes, err := a.Changes(target, 1e-9)
-		if err != nil {
-			writeError(w, err)
+		if !res.HasColumn(target) {
+			writeError(w, fmt.Errorf("no column %q", target))
 			return
 		}
-		for _, ch := range changes {
-			key, err := a.Source.KeyOf(ch.SrcRow)
-			if err != nil {
-				writeError(w, err)
-				return
-			}
+		for _, ch := range res.ChangesFor(target) {
 			resp.Changes = append(resp.Changes, changeJSON{
-				Key: key, Attr: ch.Attr, Old: ch.Old.String(), New: ch.New.String(),
+				Key: ch.Key, Attr: ch.Attr, Old: ch.Old.String(), New: ch.New.String(),
 			})
 		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// changesResponse is the GET /versions/{id}/changes body: the version's
+// decoded delta ops, with patch and insert cells keyed by column name.
+type changesResponse struct {
+	Version      string          `json:"version"`
+	Parent       string          `json:"parent,omitempty"`
+	Materialized bool            `json:"materialized"`
+	Columns      []string        `json:"columns,omitempty"`
+	Removed      []string        `json:"removed,omitempty"`
+	Inserted     []rowChangeJSON `json:"inserted,omitempty"`
+	Patched      []rowChangeJSON `json:"patched,omitempty"`
+}
+
+type rowChangeJSON struct {
+	Key   string            `json:"key"`
+	Cells map[string]string `json:"cells"`
+}
+
+func (s *Server) handleChanges(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	cs, err := s.store.Changes(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := changesResponse{
+		Version: cs.Version, Parent: cs.Base,
+		Materialized: cs.Materialized,
+		Columns:      cs.Columns,
+		Removed:      cs.Removed,
+	}
+	colName := func(ci int) (string, bool) {
+		if ci < 0 || ci >= len(cs.Columns) {
+			return "", false
+		}
+		return cs.Columns[ci], true
+	}
+	for _, ins := range cs.Inserted {
+		cells := map[string]string{}
+		for ci, val := range ins.Cells {
+			name, ok := colName(ci)
+			if !ok {
+				writeError(w, fmt.Errorf("%w: version %s: insert cell %d beyond header", store.ErrCorruptStore, id, ci))
+				return
+			}
+			cells[name] = val
+		}
+		resp.Inserted = append(resp.Inserted, rowChangeJSON{Key: ins.Key, Cells: cells})
+	}
+	for _, p := range cs.Patched {
+		cells := map[string]string{}
+		for i, ci := range p.Cols {
+			name, ok := colName(ci)
+			if !ok {
+				writeError(w, fmt.Errorf("%w: version %s: patch column %d beyond header", store.ErrCorruptStore, id, ci))
+				return
+			}
+			cells[name] = p.Vals[i]
+		}
+		resp.Patched = append(resp.Patched, rowChangeJSON{Key: p.Key, Cells: cells})
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

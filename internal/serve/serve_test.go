@@ -406,3 +406,144 @@ func TestCachePanicDoesNotDeadlock(t *testing.T) {
 		t.Fatal("cache key deadlocked after panic")
 	}
 }
+
+// TestMethodNotAllowed drives a wrong-method request into every route and
+// pins the uniform answer: 405, an Allow header listing what would work,
+// and the JSON error envelope (not net/http's plain-text default).
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t)
+	d1, _ := gen.Toy()
+	v1 := commit(t, ts.URL, csvOf(t, d1), "", "root")
+
+	cases := []struct {
+		method, path, allow string
+	}{
+		{http.MethodDelete, "/versions", "GET, POST"},
+		{http.MethodPut, "/versions", "GET, POST"},
+		{http.MethodPost, "/versions/" + v1.ID, "GET"},
+		{http.MethodDelete, "/versions/" + v1.ID + "/csv", "GET"},
+		{http.MethodPost, "/versions/" + v1.ID + "/changes", "GET"},
+		{http.MethodPost, "/diff", "GET"},
+		{http.MethodGet, "/summarize", "POST"},
+		{http.MethodGet, "/timeline", "POST"},
+		{http.MethodPost, "/stats", "GET"},
+		{http.MethodPost, "/healthz", "GET"},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status = %d, want 405", tc.method, tc.path, resp.StatusCode)
+			continue
+		}
+		if got := resp.Header.Get("Allow"); got != tc.allow {
+			t.Errorf("%s %s: Allow = %q, want %q", tc.method, tc.path, got, tc.allow)
+		}
+		var e errorJSON
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s %s: body %q is not the JSON error envelope", tc.method, tc.path, body)
+		}
+	}
+}
+
+// TestChangesEndpoint pins GET /versions/{id}/changes: delta versions
+// arrive as decoded ops with column-named cells, materialized versions say
+// so, unknown ids 404.
+func TestChangesEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	d1, d2 := gen.Toy()
+	v1 := commit(t, ts.URL, csvOf(t, d1), "", "2016")
+	v2 := commit(t, ts.URL, csvOf(t, d2), v1.ID, "2017")
+
+	resp, body := get(t, ts.URL+"/versions/"+v2.ID+"/changes")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("changes status %d: %s", resp.StatusCode, body)
+	}
+	var cr changesResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Materialized || cr.Version != v2.ID || cr.Parent != v1.ID {
+		t.Fatalf("changes header = %+v", cr)
+	}
+	if len(cr.Patched) == 0 || len(cr.Columns) == 0 {
+		t.Fatalf("changes ops = %+v", cr)
+	}
+	for _, p := range cr.Patched {
+		if p.Key == "" || len(p.Cells) == 0 {
+			t.Fatalf("patch entry = %+v", p)
+		}
+		for col := range p.Cells {
+			if col == "" {
+				t.Fatalf("patch cell with empty column name: %+v", p)
+			}
+		}
+	}
+
+	resp, body = get(t, ts.URL+"/versions/"+v1.ID+"/changes")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("root changes status %d: %s", resp.StatusCode, body)
+	}
+	var root changesResponse
+	if err := json.Unmarshal(body, &root); err != nil {
+		t.Fatal(err)
+	}
+	if !root.Materialized || len(root.Patched)+len(root.Removed)+len(root.Inserted) != 0 {
+		t.Fatalf("root changes = %+v", root)
+	}
+
+	if resp, _ := get(t, ts.URL+"/versions/nope/changes"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown id status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestDiffReportsMembershipChanges pins the widened /diff semantics: a pair
+// whose entity sets differ (previously a 400) now answers with the removed
+// and inserted keys, delta-natively when the pair is delta-connected.
+func TestDiffReportsMembershipChanges(t *testing.T) {
+	_, ts := newTestServer(t)
+	// Enough unchanged padding rows that the delta pack beats the full pack
+	// (tiny tables legitimately fall back to full snapshots).
+	var pad strings.Builder
+	for i := 0; i < 20; i++ {
+		fmt.Fprintf(&pad, "pad%02d,%d.5\n", i, i)
+	}
+	csv1 := "name,bonus\nalice,100.5\nbob,200.5\ncarol,300.5\n" + pad.String()
+	csv2 := "name,bonus\nalice,150.5\ncarol,300.5\ndave,400.5\n" + pad.String()
+	v1 := commit(t, ts.URL, csv1, "", "v1")
+	v2 := commit(t, ts.URL, csv2, v1.ID, "v2")
+
+	resp, body := get(t, fmt.Sprintf("%s/diff?from=%s&to=%s&target=bonus", ts.URL, v1.ID, v2.ID))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("diff status %d: %s", resp.StatusCode, body)
+	}
+	var d diffResponse
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatal(err)
+	}
+	if !d.DeltaNative {
+		t.Error("adjacent delta pair not served delta-natively")
+	}
+	if len(d.Removed) != 1 || d.Removed[0] != "bob" {
+		t.Errorf("removed = %v, want [bob]", d.Removed)
+	}
+	if len(d.Inserted) != 1 || d.Inserted[0] != "dave" {
+		t.Errorf("inserted = %v, want [dave]", d.Inserted)
+	}
+	if d.UpdateDistance != 1 || len(d.Changes) != 1 || d.Changes[0].Key != "alice" {
+		t.Errorf("changes = %+v (distance %d)", d.Changes, d.UpdateDistance)
+	}
+
+	// An unknown target is still a 400.
+	if resp, _ := get(t, fmt.Sprintf("%s/diff?from=%s&to=%s&target=nope", ts.URL, v1.ID, v2.ID)); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown target status = %d, want 400", resp.StatusCode)
+	}
+}

@@ -11,7 +11,6 @@ import (
 	"charles/internal/core"
 	"charles/internal/diff"
 	"charles/internal/history"
-	"charles/internal/table"
 )
 
 // timelineRequest is the POST /timeline body. Head defaults to the most
@@ -97,18 +96,22 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 	}
 	steps := len(chain) - 1
 
-	// Check each version out exactly once and align the consecutive pairs
+	// Materialize each version exactly once and align the consecutive pairs
 	// up front — Align never mutates its inputs, so a middle snapshot can
-	// safely be one step's target and the next step's source. changedBy[i]
-	// is the per-step changed-attribute set.
-	tables := make([]*table.Table, len(chain))
+	// safely be one step's target and the next step's source. The chain is
+	// materialized delta-natively: a cold walk checks out the root and
+	// derives each next snapshot from its version's ChangeSet, so it parses
+	// one CSV instead of one per version; cached snapshots short-circuit to
+	// the warm clone path. changedBy[i] is the per-step changed-attribute
+	// set.
+	ids := make([]string, len(chain))
 	for i, v := range chain {
-		t, err := s.store.Checkout(v.ID)
-		if err != nil {
-			writeError(w, err)
-			return
-		}
-		tables[i] = t
+		ids[i] = v.ID
+	}
+	tables, err := history.MaterializeChain(s.store, ids)
+	if err != nil {
+		writeError(w, err)
+		return
 	}
 	aligned := make([]*diff.Aligned, steps)
 	changedBy := make([]map[string]bool, steps)

@@ -10,7 +10,6 @@ import (
 	"io"
 	"sort"
 	"strconv"
-	"strings"
 
 	"charles/internal/csvio"
 	"charles/internal/diff"
@@ -166,7 +165,7 @@ func parseOps(body []byte) ([]deltaOp, error) {
 			}
 			for i := 0; i < len(rest); i += 2 {
 				c, err := strconv.Atoi(rest[i])
-				if err != nil {
+				if err != nil || c < 0 {
 					return nil, fmt.Errorf("update op for key %q: bad column index %q", op.key, rest[i])
 				}
 				op.cols = append(op.cols, c)
@@ -222,7 +221,8 @@ func keyIndices(header, key []string) ([]int, error) {
 
 // recordKey encodes the primary key of one CSV record exactly as
 // table.KeyFor encodes it from a table row — canonical CSV cells are written
-// with Value.Str, so the texts agree by construction.
+// with Value.Str, and both go through table.EncodeKey (which escapes the
+// part separator, so a cell containing it cannot alias another key).
 func recordKey(rec []string, keyIdx []int) string {
 	if len(keyIdx) == 1 {
 		return rec[keyIdx[0]]
@@ -231,7 +231,7 @@ func recordKey(rec []string, keyIdx []int) string {
 	for i, ci := range keyIdx {
 		parts[i] = rec[ci]
 	}
-	return strings.Join(parts, table.KeySep)
+	return table.EncodeKey(parts)
 }
 
 // recordKeys encodes every record's key.

@@ -121,9 +121,18 @@ type Store struct {
 	mem      map[string][]byte // id -> encoded pack (memory-only stores)
 	order    []string          // ids in commit order
 
-	tables *lruCache[*table.Table] // decoded-table LRU behind Checkout
-	blobs  *lruCache[[]byte]       // reconstructed-blob LRU behind Blob
-	parses atomic.Int64            // CSV parses performed (cache misses)
+	tables  *lruCache[*table.Table] // decoded-table LRU behind Checkout
+	blobs   *lruCache[[]byte]       // reconstructed-blob LRU behind Blob
+	changes *lruCache[*ChangeSet]   // decoded delta-op LRU behind Changes/DeltaOps
+	results *lruCache[*diffAnswer]  // change-query LRU behind DiffResult
+	parses  atomic.Int64            // CSV parses performed (cache misses)
+}
+
+// diffAnswer is one memoized change query: versions are immutable once
+// committed, so a (from, to, tol) answer never goes stale.
+type diffAnswer struct {
+	res    *diff.Result
+	native bool
 }
 
 // Open creates a store with default options. With a non-empty dir, existing
@@ -141,6 +150,8 @@ func OpenWith(dir string, opts Options) (*Store, error) {
 		packs:    map[string]*packInfo{},
 		tables:   newLRU[*table.Table](opts.TableCache),
 		blobs:    newLRU[[]byte](opts.TableCache),
+		changes:  newLRU[*ChangeSet](opts.TableCache),
+		results:  newLRU[*diffAnswer](opts.TableCache),
 	}
 	if dir == "" {
 		s.mem = map[string][]byte{}
@@ -539,12 +550,13 @@ func (s *Store) Blob(id string) ([]byte, error) {
 	return s.blobFor(id)
 }
 
-// Checkout reconstructs the table stored under id. Decoded tables are kept
-// in an LRU, and every caller gets a private clone — a warm checkout does
-// no CSV parsing, and no two callers ever share mutable buffers.
-func (s *Store) Checkout(id string) (*table.Table, error) {
+// tableFor returns id's decoded table through the table LRU, parsing (and
+// caching) it on a miss. The returned table is the cache's shared instance:
+// callers must treat it as strictly read-only (Checkout clones it before
+// handing it out; the delta-native diff path reads it in place).
+func (s *Store) tableFor(id string) (*table.Table, error) {
 	if t, ok := s.tables.get(id); ok {
-		return t.Clone(), nil
+		return t, nil
 	}
 	v, err := s.Get(id)
 	if err != nil {
@@ -557,10 +569,35 @@ func (s *Store) Checkout(id string) (*table.Table, error) {
 	s.parses.Add(1)
 	t, err := csvio.Read(bytes.NewReader(blob), csvio.Options{Key: v.Key})
 	if err != nil {
-		return nil, fmt.Errorf("store: version %s: %w", id, err)
+		// The blob already passed the content-hash check, so a parse
+		// failure means the stored data itself is bad, not the request.
+		return nil, fmt.Errorf("%w: version %s: %v", ErrCorruptStore, id, err)
 	}
 	s.tables.add(id, t)
+	return t, nil
+}
+
+// Checkout reconstructs the table stored under id. Decoded tables are kept
+// in an LRU, and every caller gets a private clone — a warm checkout does
+// no CSV parsing, and no two callers ever share mutable buffers.
+func (s *Store) Checkout(id string) (*table.Table, error) {
+	t, err := s.tableFor(id)
+	if err != nil {
+		return nil, err
+	}
 	return t.Clone(), nil
+}
+
+// CheckoutCached returns a private clone of id's table if (and only if) it
+// is already resident in the table LRU — no reconstruction, no parsing.
+// Chain materializers use it to prefer the warm path over re-applying
+// deltas.
+func (s *Store) CheckoutCached(id string) (*table.Table, bool) {
+	t, ok := s.tables.get(id)
+	if !ok {
+		return nil, false
+	}
+	return t.Clone(), true
 }
 
 // Get returns the version metadata for id.
@@ -690,6 +727,11 @@ func (s *Store) Stats() Stats {
 	s.mu.RUnlock()
 	if st.PackBytes > 0 {
 		st.Compression = float64(st.LogicalBytes) / float64(st.PackBytes)
+	} else {
+		// An empty store compresses nothing: report the identity ratio
+		// rather than 0/0 (which a naive division would render as NaN —
+		// not even valid JSON — in the /stats endpoint).
+		st.Compression = 1.0
 	}
 	st.CacheHits, st.CacheMisses, st.CacheEntries, st.CacheCapacity = s.tables.stats()
 	st.Parses = s.parses.Load()
@@ -761,6 +803,42 @@ func (s *Store) GC() (GCReport, error) {
 		rep.BytesReclaimed += info.Size()
 	}
 	return rep, nil
+}
+
+// VerifySnapshot checks that t carries exactly the content committed under
+// id: its canonical serialization must hash back to the content id — the
+// same guarantee Checkout enforces on reconstructed blobs, applied to a
+// snapshot materialized outside the store (history's delta-native chain
+// walks). Snapshots whose cell texts are not canonical (programmatic
+// commits of untrimmed strings) cannot be re-serialized byte-identically
+// and fail verification even when correct; callers treat a failure as
+// "fall back to Checkout", which re-verifies from the raw bytes.
+func (s *Store) VerifySnapshot(id string, t *table.Table) error {
+	v, err := s.Get(id)
+	if err != nil {
+		return err
+	}
+	blob, err := canonicalCSV(t)
+	if err != nil {
+		return err
+	}
+	if got := contentID(blob, v.Key); got != id {
+		return fmt.Errorf("%w: version %s: materialized snapshot hashes to %s", ErrCorruptStore, id, got)
+	}
+	return nil
+}
+
+// AdmitSnapshot verifies an externally materialized snapshot (see
+// VerifySnapshot) and, on success, adopts a private clone of it into the
+// table LRU — so a delta-native chain walk warms the same cache a parsing
+// checkout would, and the next walk is served by CheckoutCached clones.
+// Failed verification admits nothing and returns the error.
+func (s *Store) AdmitSnapshot(id string, t *table.Table) error {
+	if err := s.VerifySnapshot(id, t); err != nil {
+		return err
+	}
+	s.tables.add(id, t.Clone())
+	return nil
 }
 
 // canonicalCSV serializes a table deterministically (rows sorted by primary

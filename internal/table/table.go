@@ -181,8 +181,86 @@ func (t *Table) KeyOf(row int) (string, error) {
 // KeySep joins the per-column parts of a multi-column encoded key. Exported
 // so code that re-derives keys from other representations of a row (the
 // store's pack codec encodes them from raw canonical-CSV cells) provably
-// matches KeyOf/KeyFor.
+// matches KeyOf/KeyFor. Parts are escaped before joining (see EncodeKey), so
+// a cell that itself contains the separator cannot alias another key.
 const KeySep = "\x1f"
+
+// keyEsc escapes KeySep and itself inside one part of an encoded key. It is
+// a control character (like KeySep) rather than something common such as a
+// backslash, so the escaped encoding coincides with the historical raw join
+// for every key whose cells contain neither control character — existing
+// stores keep their on-disk delta-op keys and sort order; only the
+// separator/escape-bearing keys that used to alias (the bug being fixed)
+// encode differently.
+const keyEsc = '\x1e'
+
+// EncodeKey joins per-column key parts into one encoded key string. A
+// single-column key is the part verbatim (nothing is joined, so nothing can
+// alias). Multi-column keys escape the separator and the escape character
+// inside each part before joining — without the escaping, the two distinct
+// keys ("a\x1fb", "c") and ("a", "b\x1fc") encoded identically, silently
+// corrupting key matching in diff.MatchKeys and the store's delta encoder.
+// EncodeKey is the single shared encoder: KeyOf/KeyFor and the store's pack
+// codec all produce keys through it.
+func EncodeKey(parts []string) string {
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	clean := true
+	for _, p := range parts {
+		if strings.IndexByte(p, KeySep[0]) >= 0 || strings.IndexByte(p, keyEsc) >= 0 {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return strings.Join(parts, KeySep)
+	}
+	var b strings.Builder
+	for i, p := range parts {
+		if i > 0 {
+			b.WriteString(KeySep)
+		}
+		for j := 0; j < len(p); j++ {
+			if c := p[j]; c == keyEsc || c == KeySep[0] {
+				b.WriteByte(keyEsc)
+			}
+			b.WriteByte(p[j])
+		}
+	}
+	return b.String()
+}
+
+// DecodeKey splits an encoded key back into its n per-column parts, undoing
+// EncodeKey's escaping. It errors when the encoding is malformed (dangling
+// escape) or the part count disagrees with n.
+func DecodeKey(encoded string, n int) ([]string, error) {
+	if n == 1 {
+		return []string{encoded}, nil
+	}
+	parts := make([]string, 0, n)
+	var cur strings.Builder
+	for i := 0; i < len(encoded); i++ {
+		switch encoded[i] {
+		case keyEsc:
+			if i+1 >= len(encoded) {
+				return nil, fmt.Errorf("table: malformed encoded key: dangling escape")
+			}
+			i++
+			cur.WriteByte(encoded[i])
+		case KeySep[0]:
+			parts = append(parts, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(encoded[i])
+		}
+	}
+	parts = append(parts, cur.String())
+	if len(parts) != n {
+		return nil, fmt.Errorf("table: encoded key has %d parts, want %d", len(parts), n)
+	}
+	return parts, nil
+}
 
 // KeyFor encodes the values of cols at row in the same format KeyOf uses for
 // the declared key, without consulting or touching the key declaration — so
@@ -208,7 +286,7 @@ func (t *Table) KeyFor(row int, cols []string) (string, error) {
 		}
 		parts[i] = v.Str()
 	}
-	return strings.Join(parts, KeySep), nil
+	return EncodeKey(parts), nil
 }
 
 // KeyIndexFor builds and returns an encoded-key → row index over cols,

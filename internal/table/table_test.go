@@ -2,6 +2,7 @@ package table
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -294,5 +295,82 @@ func TestColumnSetTypeChecks(t *testing.T) {
 	}
 	if !tbl.MustColumn("score").IsNull(2) {
 		t.Error("Set(null) should set null flag")
+	}
+}
+
+// TestEncodeKeyRoundTrip pins the escaped multi-part key encoding: distinct
+// part tuples encode distinctly (even when cells contain the separator or
+// the escape character) and DecodeKey inverts EncodeKey exactly.
+func TestEncodeKeyRoundTrip(t *testing.T) {
+	cases := [][]string{
+		{"plain"},
+		{"a", "b"},
+		{"a" + KeySep + "b", "c"},
+		{"a", "b" + KeySep + "c"},
+		{"with\\backslash", "x"},
+		{"\\", KeySep},
+		{"", ""},
+		{KeySep + KeySep, "", "x"},
+		{"x\x1ey", "z"},
+		{"\x1e", "\x1e" + KeySep},
+	}
+	seen := map[string][]string{}
+	for _, parts := range cases {
+		enc := EncodeKey(parts)
+		if prev, dup := seen[enc]; dup {
+			t.Fatalf("EncodeKey collision: %q and %q both encode to %q", prev, parts, enc)
+		}
+		seen[enc] = parts
+		dec, err := DecodeKey(enc, len(parts))
+		if err != nil {
+			t.Fatalf("DecodeKey(%q, %d): %v", enc, len(parts), err)
+		}
+		if !reflect.DeepEqual(dec, parts) {
+			t.Fatalf("DecodeKey(EncodeKey(%q)) = %q", parts, dec)
+		}
+	}
+	// The two classic aliasing victims must not collide.
+	if EncodeKey([]string{"a" + KeySep + "b", "c"}) == EncodeKey([]string{"a", "b" + KeySep + "c"}) {
+		t.Fatal("separator-bearing keys alias")
+	}
+	if _, err := DecodeKey("a"+KeySep+"b", 3); err == nil {
+		t.Error("DecodeKey with wrong part count should fail")
+	}
+	if _, err := DecodeKey("dangling\x1e", 2); err == nil {
+		t.Error("DecodeKey with dangling escape should fail")
+	}
+	// Keys without either control character keep the historical raw-join
+	// encoding, so existing stores' delta-op keys stay readable.
+	if got := EncodeKey([]string{"C:\\data", "x"}); got != "C:\\data"+KeySep+"x" {
+		t.Errorf("backslash key re-encoded to %q, want the raw join", got)
+	}
+}
+
+// TestKeyForUsesEscapedEncoding pins KeyOf/KeyFor on the shared encoder: a
+// cell containing the separator no longer makes two distinct rows collide.
+func TestKeyForUsesEscapedEncoding(t *testing.T) {
+	tbl := MustNew(Schema{{Name: "k1", Type: String}, {Name: "k2", Type: String}})
+	tbl.MustAppendRow(S("a"+KeySep+"b"), S("c"))
+	tbl.MustAppendRow(S("a"), S("b"+KeySep+"c"))
+	if err := tbl.SetKey("k1", "k2"); err != nil {
+		t.Fatal(err)
+	}
+	k0, err := tbl.KeyOf(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, err := tbl.KeyOf(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k0 == k1 {
+		t.Fatalf("distinct multi-column keys alias to %q", k0)
+	}
+	idx, err := tbl.KeyIndexFor([]string{"k1", "k2"})
+	if err != nil {
+		t.Fatalf("KeyIndexFor rejected a valid table: %v", err)
+	}
+	if len(idx) != 2 {
+		t.Fatalf("index has %d entries, want 2", len(idx))
 	}
 }

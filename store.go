@@ -1,6 +1,7 @@
 package charles
 
 import (
+	"charles/internal/diff"
 	"charles/internal/history"
 	"charles/internal/predicate"
 	"charles/internal/store"
@@ -39,11 +40,43 @@ func OpenStoreWith(dir string, opts StoreOptions) (*VersionStore, error) {
 	return store.OpenWith(dir, opts)
 }
 
-// SummarizeTimelineChain walks the stored version ids in order (warm walks
-// are served from the store's table cache without parsing) and summarizes
-// every changed numeric attribute of every consecutive pair.
+// ChangeSet is one version's decoded delta ops — removed keys, inserted
+// rows, cell patches against its parent — served straight from the store's
+// delta packs by VersionStore.Changes. Versions stored as full snapshots
+// (anchors, roots) report Materialized=true instead of ops.
+type ChangeSet = store.ChangeSet
+
+// DiffResult is the answer to a change query between two snapshots: removed
+// and inserted entity keys plus every modified cell of the common entities.
+// VersionStore.DiffResult assembles it straight from delta packs when the
+// two versions are delta-connected, and from a checkout+align pass
+// otherwise — bit-identically.
+type DiffResult = diff.Result
+
+// KeyedChange is one modified cell of a DiffResult, addressed by entity key.
+type KeyedChange = diff.KeyedChange
+
+// DiffSnapshots answers a change query between two in-memory snapshots the
+// align-based way (the reference semantics of VersionStore.DiffResult):
+// removed/inserted keys plus modified cells at the given absolute tolerance.
+func DiffSnapshots(src, tgt *Table, tol float64) (*DiffResult, error) {
+	return diff.ResultFromPair(src, tgt, tol)
+}
+
+// SummarizeTimelineChain walks the stored version ids in order and
+// summarizes every changed numeric attribute of every consecutive pair.
+// Cold walks are delta-native — one checkout at the chain root, then
+// step-by-step application of each version's ChangeSet — and warm walks are
+// served from the store's table cache without parsing.
 func SummarizeTimelineChain(src *VersionStore, ids []string, base Options) (*MultiTimeline, error) {
 	return history.SummarizeChain(src, ids, base)
+}
+
+// MaterializeVersions materializes the given version ids in order,
+// delta-natively where possible (see SummarizeTimelineChain); the returned
+// tables are identical to per-id checkouts.
+func MaterializeVersions(src *VersionStore, ids []string) ([]*Table, error) {
+	return history.MaterializeChain(src, ids)
 }
 
 // Predicate is a conjunctive condition over table attributes — the
