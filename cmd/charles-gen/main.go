@@ -7,6 +7,14 @@
 //	charles-gen -dataset toy|planted|montgomery|billionaires
 //	            [-n 1000] [-seed 1] [-rules 3] [-noise 0] [-unchanged 0.3]
 //	            [-out-dir .]
+//	charles-gen -mutate-chain 8 [-n 40] [-seed 1] [-out-dir .]
+//
+// With -mutate-chain N, instead of a snapshot pair it writes a randomized
+// N-step version chain (chain_v0.csv … chain_vN.csv, key column "id") —
+// the same fuzz chains the store's property tests use, with cell edits,
+// row inserts/deletes, nulls, and CSV-hostile string cells — so the
+// charles-store CLI (and CI) can exercise commit/verify on realistic
+// adversarial histories.
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 	"path/filepath"
 
 	charles "charles"
+	"charles/internal/gen"
 )
 
 func main() {
@@ -28,8 +37,25 @@ func main() {
 		noise     = flag.Float64("noise", 0, "relative noise std on evolved values (planted only)")
 		unchanged = flag.Float64("unchanged", 0.3, "fraction of rows no rule covers (planted only)")
 		outDir    = flag.String("out-dir", ".", "output directory")
+		chain     = flag.Int("mutate-chain", 0, "write a randomized version chain of this many mutation steps (chain_v0.csv…) instead of a snapshot pair")
 	)
 	flag.Parse()
+
+	if *chain > 0 {
+		snaps, err := gen.MutateChain(gen.FuzzConfig{N: *n, Steps: *chain, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		for i, s := range snaps {
+			p := filepath.Join(*outDir, fmt.Sprintf("chain_v%d.csv", i))
+			if err := charles.SaveCSV(p, s); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("wrote %d chain snapshots (key column id) to %s\n",
+			len(snaps), filepath.Join(*outDir, "chain_v*.csv"))
+		return
+	}
 
 	var src, tgt *charles.Table
 	var truthText string

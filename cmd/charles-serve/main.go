@@ -6,6 +6,15 @@
 // Usage:
 //
 //	charles-serve [-addr :8344] [-dir .charles-store] [-cache 128]
+//	              [-max-inflight 0] [-timeout 0] [-drain-timeout 15s]
+//	              [-read-timeout 30s] [-idle-timeout 2m]
+//
+// Lifecycle: -max-inflight caps concurrently served requests (beyond it,
+// requests are shed immediately with 429 + Retry-After; /healthz and
+// /stats always answer), -timeout bounds each request's context (expired
+// work returns 503), and SIGTERM/SIGINT triggers a graceful drain: the
+// listener closes, in-flight requests get -drain-timeout to finish, then
+// stragglers are cancelled and cut.
 //
 // Endpoints:
 //
@@ -15,16 +24,22 @@
 //	GET  /versions/{id}/csv   checkout the canonical CSV
 //	GET  /diff?from=&to=      update distance + changed attrs (&target= for cells)
 //	POST /summarize           {from, to, target, alpha?, c?, t?, topk?}
-//	GET  /stats               cache hit/miss/execution counters
+//	POST /timeline            {head?, target?, alpha?, c?, t?, topk?}
+//	GET  /stats               cache + store + serving counters
 //	GET  /healthz             liveness
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	charles "charles"
 )
@@ -33,9 +48,39 @@ func main() {
 	addr := flag.String("addr", ":8344", "listen address")
 	dir := flag.String("dir", ".charles-store", "store directory (empty = memory only)")
 	cache := flag.Int("cache", 0, "summarize result cache entries (0 = default)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrently served requests; beyond it requests are shed with 429 (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0, "per-request deadline; expired work returns 503 (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on SIGTERM before they are cancelled")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "max time to read a request (headers + body)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time per connection")
 	flag.Parse()
 
 	st, err := charles.OpenStore(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "charles-serve:", err)
+		os.Exit(1)
+	}
+	handler := charles.NewServerWith(st, charles.ServeConfig{
+		CacheSize:      *cache,
+		MaxInFlight:    *maxInflight,
+		RequestTimeout: *timeout,
+	})
+
+	// WriteTimeout must outlast the request deadline, or the connection is
+	// cut before the handler can even write its 503.
+	writeTimeout := 0 * time.Second
+	if *timeout > 0 {
+		writeTimeout = *timeout + 10*time.Second
+	}
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "charles-serve:", err)
 		os.Exit(1)
@@ -44,10 +89,13 @@ func main() {
 	if where == "" {
 		where = "(memory only)"
 	}
-	log.Printf("charles-serve: store %s, %d versions, listening on %s", where, len(st.Log()), *addr)
-	srv := &http.Server{Addr: *addr, Handler: charles.NewServer(st, *cache)}
-	if err := srv.ListenAndServe(); err != nil {
+	log.Printf("charles-serve: store %s, %d versions, listening on %s", where, len(st.Log()), ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := charles.RunServer(ctx, srv, ln, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "charles-serve:", err)
 		os.Exit(1)
 	}
+	log.Printf("charles-serve: drained cleanly")
 }

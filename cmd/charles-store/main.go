@@ -13,6 +13,8 @@
 //	charles-store -dir .charles timeline  [-head <id>] [-target bonus] [-alpha 0.5] [-topk 10]
 //	charles-store -dir .charles stats
 //	charles-store -dir .charles gc
+//	charles-store -dir .charles verify
+//	charles-store -dir .charles repair
 //
 // Versions are stored as delta-encoded pack files (full anchors every few
 // commits); changes prints a version's decoded delta ops straight from its
@@ -89,6 +91,10 @@ func main() {
 		cmdStats(st)
 	case "gc":
 		cmdGC(st)
+	case "verify":
+		cmdVerify(st)
+	case "repair":
+		cmdRepair(st)
 	default:
 		fmt.Fprintf(os.Stderr, "charles-store: unknown subcommand %q\n", sub)
 		usage()
@@ -320,8 +326,50 @@ func cmdGC(st *charles.VersionStore) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("removed %d legacy CSV file(s) and %d orphaned pack(s), reclaimed %d bytes\n",
-		rep.LegacyFiles, rep.OrphanPacks, rep.BytesReclaimed)
+	fmt.Printf("removed %d legacy CSV file(s), %d orphaned pack(s) and %d stale temp file(s), reclaimed %d bytes\n",
+		rep.LegacyFiles, rep.OrphanPacks, rep.TempFiles, rep.BytesReclaimed)
+}
+
+// cmdVerify runs the fsck-style store walk and exits 1 when anything fails
+// verification, so scripts (and CI) can gate on a clean store.
+func cmdVerify(st *charles.VersionStore) {
+	rep, err := st.Verify()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("verified %d/%d version(s)\n", rep.Verified, rep.Versions)
+	for _, s := range rep.StrayFiles {
+		fmt.Printf("stray: %s (unreferenced; gc reclaims, repair quarantines)\n", s)
+	}
+	if rep.Clean() {
+		return
+	}
+	for _, iss := range rep.Issues {
+		fmt.Fprintf(os.Stderr, "corrupt: %s: %s\n", iss.Version, iss.Problem)
+	}
+	fmt.Fprintf(os.Stderr, "charles-store: %d version(s) failed verification; run repair to quarantine them\n", len(rep.Issues))
+	os.Exit(1)
+}
+
+// cmdRepair drops unverifiable versions (and their dependents) from the
+// manifest and moves their packs — plus any strays — into quarantine/.
+func cmdRepair(st *charles.VersionStore) {
+	rep, err := st.Repair()
+	if err != nil {
+		fatal(err)
+	}
+	for _, id := range rep.Dropped {
+		fmt.Printf("dropped %s\n", id)
+	}
+	for _, f := range rep.Quarantined {
+		fmt.Printf("quarantined %s\n", f)
+	}
+	if len(rep.Dropped) == 0 && len(rep.Quarantined) == 0 {
+		fmt.Println("store is healthy; nothing to repair")
+		return
+	}
+	fmt.Printf("dropped %d version(s), quarantined %d file(s) into %s\n",
+		len(rep.Dropped), len(rep.Quarantined), rep.QuarantineDir)
 }
 
 func splitList(s string) []string {
@@ -345,7 +393,7 @@ func mustParse(fs *flag.FlagSet, args []string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: charles-store [-dir DIR] {commit|log|checkout|changes|diff|summarize|timeline|stats|gc} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: charles-store [-dir DIR] {commit|log|checkout|changes|diff|summarize|timeline|stats|gc|verify|repair} [flags]")
 	os.Exit(2)
 }
 

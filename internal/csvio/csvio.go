@@ -124,13 +124,20 @@ func Write(w io.Writer, t *table.Table) error {
 	return cw.Error()
 }
 
-// WriteFile saves t as a CSV file.
+// WriteFile saves t as a CSV file. The file is fsynced before close, so a
+// checkout that "succeeded" survives a power cut — without the sync, the
+// data could still be sitting in the page cache when the machine dies,
+// leaving a short or empty file behind a reported success.
 func WriteFile(path string, t *table.Table) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	if err := Write(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
 		f.Close()
 		return err
 	}

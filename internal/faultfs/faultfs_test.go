@@ -1,0 +1,221 @@
+package faultfs
+
+import (
+	"errors"
+	"io/fs"
+	"testing"
+
+	"charles/internal/vfs"
+)
+
+func write(t *testing.T, fsys *FS, path, content string) {
+	t.Helper()
+	f, err := fsys.Create(path)
+	if err != nil {
+		t.Fatalf("create %s: %v", path, err)
+	}
+	if _, err := f.Write([]byte(content)); err != nil {
+		t.Fatalf("write %s: %v", path, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close %s: %v", path, err)
+	}
+}
+
+// TestUnsyncedDataDoesNotSurviveCrash pins the core of the model: without
+// File.Sync + SyncDir, nothing is durable.
+func TestUnsyncedDataDoesNotSurviveCrash(t *testing.T) {
+	fsys := New()
+	if err := fsys.MkdirAll("db"); err != nil {
+		t.Fatal(err)
+	}
+	write(t, fsys, "db/a", "hello")
+	// Visible to the running process...
+	got, err := fsys.ReadFile("db/a")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("volatile read = %q, %v", got, err)
+	}
+	// ...gone after the power cut: the name was never dir-synced.
+	after := fsys.Crash()
+	if _, err := after.ReadFile("db/a"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("unsynced file survived crash: err=%v", err)
+	}
+	// The old handle is dead.
+	if _, err := fsys.ReadFile("db/a"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crashed FS still serving: %v", err)
+	}
+}
+
+// TestSyncedFileSurvivesCrashExactly pins the happy path: file sync + dir
+// sync = full durability.
+func TestSyncedFileSurvivesCrashExactly(t *testing.T) {
+	fsys := New()
+	if err := fsys.MkdirAll("db"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fsys.Create("db/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir("db"); err != nil {
+		t.Fatal(err)
+	}
+	after := fsys.Crash()
+	got, err := after.ReadFile("db/a")
+	if err != nil || string(got) != "durable" {
+		t.Fatalf("synced file after crash = %q, %v; want durable", got, err)
+	}
+}
+
+// TestDirSyncedButFileUnsyncedIsTorn pins the half-written-page case: the
+// name made it to disk, the data only partially did.
+func TestDirSyncedButFileUnsyncedIsTorn(t *testing.T) {
+	fsys := New()
+	if err := fsys.MkdirAll("db"); err != nil {
+		t.Fatal(err)
+	}
+	write(t, fsys, "db/a", "0123456789")
+	if err := fsys.SyncDir("db"); err != nil {
+		t.Fatal(err)
+	}
+	after := fsys.Crash()
+	got, err := after.ReadFile("db/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "01234" {
+		t.Fatalf("torn content = %q, want the half prefix %q", got, "01234")
+	}
+}
+
+// TestRenameWithoutDirSyncRollsBack pins the lost-rename case.
+func TestRenameWithoutDirSyncRollsBack(t *testing.T) {
+	fsys := New()
+	if err := fsys.MkdirAll("db"); err != nil {
+		t.Fatal(err)
+	}
+	// Durably establish db/a.tmp.
+	f, _ := fsys.Create("db/a.tmp")
+	f.Write([]byte("v1"))
+	f.Sync()
+	f.Close()
+	fsys.SyncDir("db")
+	// Rename it but crash before the directory sync.
+	if err := fsys.Rename("db/a.tmp", "db/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.ReadFile("db/a"); err != nil {
+		t.Fatalf("rename not visible volatile: %v", err)
+	}
+	after := fsys.Crash()
+	if _, err := after.ReadFile("db/a"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("un-dir-synced rename survived crash: %v", err)
+	}
+	got, err := after.ReadFile("db/a.tmp")
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("old name did not roll back: %q, %v", got, err)
+	}
+}
+
+// TestRemoveWithoutDirSyncResurrects pins the undone-removal case.
+func TestRemoveWithoutDirSyncResurrects(t *testing.T) {
+	fsys := New()
+	fsys.MkdirAll("db")
+	f, _ := fsys.Create("db/a")
+	f.Write([]byte("keep"))
+	f.Sync()
+	f.Close()
+	fsys.SyncDir("db")
+	if err := fsys.Remove("db/a"); err != nil {
+		t.Fatal(err)
+	}
+	after := fsys.Crash()
+	got, err := after.ReadFile("db/a")
+	if err != nil || string(got) != "keep" {
+		t.Fatalf("removed-but-unsynced file should resurrect: %q, %v", got, err)
+	}
+}
+
+// TestFailAtInjectsExactlyOnce pins the fault trigger: the armed op fails
+// with ErrInjected, a faulted write is torn, and later ops proceed.
+func TestFailAtInjectsExactlyOnce(t *testing.T) {
+	fsys := New()
+	fsys.MkdirAll("db") // op 0
+	f, err := fsys.Create("db/a")
+	if err != nil { // op 1
+		t.Fatal(err)
+	}
+	fsys.FailAt(0) // arm the next op: the write
+	if _, err := f.Write([]byte("abcdefgh")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed write returned %v, want ErrInjected", err)
+	}
+	if !fsys.Faulted() {
+		t.Fatal("Faulted() should report the fired fault")
+	}
+	// The torn half-write landed.
+	got, _ := fsys.ReadFile("db/a")
+	if string(got) != "abcd" {
+		t.Fatalf("faulted write left %q, want the torn prefix \"abcd\"", got)
+	}
+	// Subsequent ops work — the process may keep running after an IO error.
+	if _, err := f.Write([]byte("ij")); err != nil {
+		t.Fatalf("op after fault: %v", err)
+	}
+}
+
+// TestWriteAtomicThroughFaultFS drives vfs.WriteAtomic through the model
+// at every fault point and asserts all-or-nothing durability: after a
+// crash the published path holds either the previous value or the new
+// value in full — never a torn mix — and a fault-free pass is durable.
+func TestWriteAtomicThroughFaultFS(t *testing.T) {
+	// Learn the op count of one atomic publish.
+	probe := New()
+	probe.MkdirAll("db")
+	base := probe.Ops()
+	if err := vfs.WriteAtomic(probe, "db/f", []byte("NEW")); err != nil {
+		t.Fatal(err)
+	}
+	opsPerWrite := probe.Ops() - base
+
+	for point := 0; point < opsPerWrite; point++ {
+		fsys := New()
+		fsys.MkdirAll("db")
+		// Durably publish the previous value first.
+		if err := vfs.WriteAtomic(fsys, "db/f", []byte("OLD")); err != nil {
+			t.Fatal(err)
+		}
+		fsys.FailAt(point)
+		err := vfs.WriteAtomic(fsys, "db/f", []byte("NEW"))
+		if !fsys.Faulted() {
+			t.Fatalf("point %d: fault did not fire", point)
+		}
+		after := fsys.Crash()
+		got, rerr := after.ReadFile("db/f")
+		if rerr != nil {
+			t.Fatalf("point %d: published file missing after crash: %v", point, rerr)
+		}
+		if s := string(got); s != "OLD" && s != "NEW" {
+			t.Fatalf("point %d: torn publish: %q (err from write: %v)", point, s, err)
+		}
+	}
+
+	// Fault-free publish is fully durable.
+	fsys := New()
+	fsys.MkdirAll("db")
+	if err := vfs.WriteAtomic(fsys, "db/f", []byte("NEW")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fsys.Crash().ReadFile("db/f")
+	if err != nil || string(got) != "NEW" {
+		t.Fatalf("clean publish not durable: %q, %v", got, err)
+	}
+}

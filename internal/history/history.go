@@ -7,6 +7,7 @@
 package history
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -102,12 +103,20 @@ type MultiTimeline struct {
 // steps are independent and merged in step order, and the engine itself is
 // deterministic and scheduling-independent.
 func SummarizeAll(snapshots []*table.Table, base core.Options) (*MultiTimeline, error) {
+	return SummarizeAllContext(context.Background(), snapshots, base)
+}
+
+// SummarizeAllContext is SummarizeAll bounded by ctx: a cancelled or expired
+// context stops the step pool from dispatching further steps and returns the
+// context's error. Steps already running finish their current engine pass
+// (the engine itself is not preemptible) before the pool drains.
+func SummarizeAllContext(ctx context.Context, snapshots []*table.Table, base core.Options) (*MultiTimeline, error) {
 	if len(snapshots) < 2 {
 		return nil, fmt.Errorf("history: need at least 2 snapshots, got %d", len(snapshots))
 	}
 	steps := len(snapshots) - 1
 	results := make([]*core.MultiResult, steps)
-	if err := forEachStep(steps, base.Workers, func(i int, engineBase core.Options) error {
+	if err := forEachStep(ctx, steps, base.Workers, func(i int, engineBase core.Options) error {
 		var err error
 		results[i], err = summarizeStep(snapshots[i], snapshots[i+1], engineBase)
 		return err
@@ -165,11 +174,21 @@ type SnapshotAdmitter interface {
 // plain CheckoutSources fall back to a regular checkout per id. The returned
 // tables are identical to per-id checkouts, row order included.
 func MaterializeChain(src CheckoutSource, ids []string) ([]*table.Table, error) {
+	return MaterializeChainContext(context.Background(), src, ids)
+}
+
+// MaterializeChainContext is MaterializeChain bounded by ctx: the walk
+// checks for cancellation before each version, so a caller abandoning a
+// long chain stops paying for checkouts it will never read.
+func MaterializeChainContext(ctx context.Context, src CheckoutSource, ids []string) ([]*table.Table, error) {
 	ds, _ := src.(DeltaSource)
 	cc, _ := src.(CachedCheckoutSource)
 	sa, _ := src.(SnapshotAdmitter)
 	out := make([]*table.Table, len(ids))
 	for i, id := range ids {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if cc != nil {
 			if t, ok := cc.CheckoutCached(id); ok {
 				out[i] = t
@@ -208,14 +227,20 @@ func MaterializeChain(src CheckoutSource, ids []string) ([]*table.Table, error) 
 // SummarizeAll. It is the store-backed batch timeline: ids usually come from
 // Store.Chain(head).
 func SummarizeChain(src CheckoutSource, ids []string, base core.Options) (*MultiTimeline, error) {
+	return SummarizeChainContext(context.Background(), src, ids, base)
+}
+
+// SummarizeChainContext is SummarizeChain bounded by ctx: both the chain
+// materialization and the step pool observe cancellation.
+func SummarizeChainContext(ctx context.Context, src CheckoutSource, ids []string, base core.Options) (*MultiTimeline, error) {
 	if len(ids) < 2 {
 		return nil, fmt.Errorf("history: need at least 2 versions, got %d", len(ids))
 	}
-	snapshots, err := MaterializeChain(src, ids)
+	snapshots, err := MaterializeChainContext(ctx, src, ids)
 	if err != nil {
 		return nil, err
 	}
-	return SummarizeAll(snapshots, base)
+	return SummarizeAllContext(ctx, snapshots, base)
 }
 
 // forEachStep runs fn for every step index on a pool bounded by workers
@@ -225,7 +250,12 @@ func SummarizeChain(src CheckoutSource, ids []string, base core.Options) (*Multi
 // to 1 whenever the step pool itself is parallel, so total concurrency
 // stays at the configured bound instead of squaring it (results are
 // identical either way; the engine is worker-count-independent).
-func forEachStep(steps, workers int, fn func(i int, engineBase core.Options) error, base core.Options) error {
+//
+// Cancellation is observed at the pool gate: a step that has not yet
+// acquired a worker slot when ctx ends records the context's error instead
+// of running. A context error outranks step errors in the return value —
+// once the caller has given up, per-step failures are noise.
+func forEachStep(ctx context.Context, steps, workers int, fn func(i int, engineBase core.Options) error, base core.Options) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -243,12 +273,24 @@ func forEachStep(steps, workers int, fn func(i int, engineBase core.Options) err
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sem <- struct{}{}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+				return
+			}
 			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
 			errs[i] = fn(i, engineBase)
 		}(i)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return fmt.Errorf("history: step %d→%d: %w", i, i+1, err)
@@ -265,6 +307,12 @@ func forEachStep(steps, workers int, fn func(i int, engineBase core.Options) err
 // (the sequential single-target path) except that unchanged steps carry no
 // Ranked entry at all rather than the engine's explicit no-change result.
 func SummarizeTarget(snapshots []*table.Table, target string, base core.Options) (*Timeline, error) {
+	return SummarizeTargetContext(context.Background(), snapshots, target, base)
+}
+
+// SummarizeTargetContext is SummarizeTarget bounded by ctx (see
+// SummarizeAllContext for the cancellation semantics).
+func SummarizeTargetContext(ctx context.Context, snapshots []*table.Table, target string, base core.Options) (*Timeline, error) {
 	if len(snapshots) < 2 {
 		return nil, fmt.Errorf("history: need at least 2 snapshots, got %d", len(snapshots))
 	}
@@ -285,7 +333,7 @@ func SummarizeTarget(snapshots []*table.Table, target string, base core.Options)
 	if tol == 0 {
 		tol = 1e-9
 	}
-	if err := forEachStep(steps, base.Workers, func(i int, engineBase core.Options) error {
+	if err := forEachStep(ctx, steps, base.Workers, func(i int, engineBase core.Options) error {
 		var err error
 		tl.Steps[i], err = summarizeTargetStep(snapshots[i], snapshots[i+1], i, target, tol, engineBase)
 		return err

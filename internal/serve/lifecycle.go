@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Serve runs srv on ln until ctx is cancelled (typically by SIGTERM via
+// signal.NotifyContext), then drains gracefully: no new connections are
+// accepted, in-flight requests get up to drainTimeout to finish, and only
+// then are the stragglers' request contexts cancelled and their connections
+// force-closed. The return value is nil for a clean lifecycle —
+// http.ErrServerClosed is the *expected* way a drained server's Serve loop
+// ends, not a failure — and non-nil only for a real serve error (bad
+// listener, accept failure) or a drain that had to force-close connections.
+func Serve(ctx context.Context, srv *http.Server, ln net.Listener, drainTimeout time.Duration) error {
+	// Base every request on a context the lifecycle owns: it stays alive
+	// through the graceful drain window (cancelling it at SIGTERM would
+	// abort the very requests the drain exists to finish) and is cancelled
+	// only when the drain deadline expires, so handlers stuck in
+	// context-aware work (timeline walks, history pools) stop instead of
+	// leaking past the force-close.
+	reqCtx, cancelReqs := context.WithCancel(context.Background())
+	defer cancelReqs()
+	srv.BaseContext = func(net.Listener) context.Context { return reqCtx }
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		// Serve ended before any shutdown was requested: a real error.
+		return err
+	case <-ctx.Done():
+	}
+
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	err := srv.Shutdown(dctx)
+	if errors.Is(err, context.DeadlineExceeded) {
+		// Drain deadline hit: cancel the stragglers' contexts and cut the
+		// connections. Still report the deadline error — requests were
+		// aborted, the operator should know the drain window was too tight.
+		cancelReqs()
+		_ = srv.Close()
+	}
+	// The Serve goroutine returns ErrServerClosed once Shutdown/Close has
+	// begun; that is the clean path, not an error.
+	if serr := <-errc; serr != nil && !errors.Is(serr, http.ErrServerClosed) && err == nil {
+		err = serr
+	}
+	return err
+}

@@ -27,6 +27,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -34,6 +35,8 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"charles/internal/core"
 	"charles/internal/csvio"
@@ -47,6 +50,26 @@ const DefaultCacheSize = 128
 // maxBodyBytes bounds request bodies (CSV snapshots included).
 const maxBodyBytes = 64 << 20
 
+// Config tunes the serving lifecycle. The zero value matches the historical
+// behavior: default cache, unlimited concurrency, no per-request deadline.
+type Config struct {
+	// CacheSize bounds the summarize result LRU (<=0 uses DefaultCacheSize).
+	CacheSize int
+	// MaxInFlight caps concurrently served requests (liveness and stats
+	// endpoints are exempt). A request arriving with every slot taken is
+	// shed immediately with 429 and a Retry-After header — the server never
+	// queues, so saturation degrades into fast rejections instead of
+	// unbounded memory growth and collapsing tail latencies. 0 = unlimited.
+	MaxInFlight int
+	// RequestTimeout bounds each non-exempt request's context. Work that
+	// observes the deadline (timeline walks, history pools) stops early and
+	// the client gets 503. 0 = no deadline.
+	RequestTimeout time.Duration
+	// RetryAfter is the advisory Retry-After duration on shed responses
+	// (rounded up to whole seconds; 0 = 1s).
+	RetryAfter time.Duration
+}
+
 // Server is the HTTP front end over one shared Store. The store is safe
 // for concurrent use and the engine runs outside the store's lock, so any
 // number of requests proceed in parallel; identical summarize requests are
@@ -55,15 +78,34 @@ type Server struct {
 	store *store.Store
 	cache *resultCache
 	mux   *http.ServeMux
+	cfg   Config
+
+	slots    chan struct{} // nil = unlimited
+	inflight atomic.Int64
+	shed     atomic.Int64
+
+	// Test seams (set only from package tests): testDelay runs after a
+	// limiter slot is held, stepHook inside each timeline step computation.
+	testDelay func(*http.Request)
+	stepHook  func()
 }
 
 // NewServer wraps st in an HTTP handler with a result cache of cacheSize
-// entries (<=0 uses DefaultCacheSize).
+// entries (<=0 uses DefaultCacheSize), no concurrency cap, and no request
+// deadline — the historical constructor, now sugar over NewServerWith.
 func NewServer(st *store.Store, cacheSize int) *Server {
-	if cacheSize <= 0 {
-		cacheSize = DefaultCacheSize
+	return NewServerWith(st, Config{CacheSize: cacheSize})
+}
+
+// NewServerWith wraps st in an HTTP handler with the full serving config.
+func NewServerWith(st *store.Store, cfg Config) *Server {
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = DefaultCacheSize
 	}
-	s := &Server{store: st, cache: newResultCache(cacheSize)}
+	s := &Server{store: st, cache: newResultCache(cfg.CacheSize), cfg: cfg}
+	if cfg.MaxInFlight > 0 {
+		s.slots = make(chan struct{}, cfg.MaxInFlight)
+	}
 	mux := http.NewServeMux()
 	routes := []struct {
 		method, pattern string
@@ -105,14 +147,69 @@ func NewServer(st *store.Store, cacheSize int) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler: body bounding, load shedding, and the
+// per-request deadline wrap every route except the liveness and stats
+// endpoints — a saturated server must still answer health checks (or its
+// orchestrator would shoot a box that is merely busy) and stats probes.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if r.URL.Path == "/healthz" || r.URL.Path == "/stats" {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	if s.slots != nil {
+		select {
+		case s.slots <- struct{}{}:
+			defer func() { <-s.slots }()
+		default:
+			// Shed immediately: no queue means overload cannot pile up
+			// latent work the client has long since abandoned.
+			s.shed.Add(1)
+			retry := s.cfg.RetryAfter
+			if retry <= 0 {
+				retry = time.Second
+			}
+			secs := int((retry + time.Second - 1) / time.Second)
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+			writeJSON(w, http.StatusTooManyRequests, errorJSON{
+				Error: fmt.Sprintf("server at capacity (%d in flight); retry after %ds", s.cfg.MaxInFlight, secs),
+			})
+			return
+		}
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if s.testDelay != nil {
+		s.testDelay(r)
+	}
+	if s.cfg.RequestTimeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
 // Stats snapshots the summarize cache counters.
 func (s *Server) Stats() Stats { return s.cache.Stats() }
+
+// ServingStats is a snapshot of the lifecycle counters: the concurrency
+// cap (0 = unlimited), the requests currently holding a slot, and the
+// total shed with 429 since startup.
+type ServingStats struct {
+	MaxInFlight int   `json:"maxInFlight"`
+	InFlight    int64 `json:"inFlight"`
+	Shed        int64 `json:"shed"`
+}
+
+// ServingStats snapshots the load-shedding counters.
+func (s *Server) ServingStats() ServingStats {
+	return ServingStats{
+		MaxInFlight: s.cfg.MaxInFlight,
+		InFlight:    s.inflight.Load(),
+		Shed:        s.shed.Load(),
+	}
+}
 
 // errorJSON is the uniform error envelope.
 type errorJSON struct {
@@ -127,14 +224,25 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
+// statusClientClosedRequest is the (nginx-conventional) status logged when
+// the client cancelled mid-request; the client is gone, so the code is for
+// operators reading access logs, not for the wire.
+const statusClientClosedRequest = 499
+
 // writeError maps store/engine errors onto HTTP status codes: unknown ids
-// are 404, lineage conflicts 409, server-side damage — corrupt stored data,
-// IO failures (persist hitting a full or broken disk) — 500, and everything
-// else — malformed bodies, CSV parse errors, engine option validation — 400.
+// are 404, lineage conflicts 409, an expired request deadline 503 (the
+// server gave up under its own timeout — retryable), a client cancellation
+// 499, server-side damage — corrupt stored data, IO failures (persist
+// hitting a full or broken disk) — 500, and everything else — malformed
+// bodies, CSV parse errors, engine option validation — 400.
 func writeError(w http.ResponseWriter, err error) {
 	var pathErr *fs.PathError
 	code := http.StatusBadRequest
 	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled):
+		code = statusClientClosedRequest
 	case errors.Is(err, store.ErrNotFound):
 		code = http.StatusNotFound
 	case errors.Is(err, store.ErrLineageConflict):
@@ -404,7 +512,13 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 	}
 	fp := opts.Fingerprint()
 	key := req.From + "|" + req.To + "|" + fp
+	ctx := r.Context()
 	val, hit, err := s.cache.Do(key, func() (any, error) {
+		// A request that timed out or was abandoned while waiting its turn
+		// must not start an engine run nobody will read.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return s.store.Summarize(req.From, req.To, opts)
 	})
 	if err != nil {
@@ -420,12 +534,18 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 }
 
 // statsResponse is the GET /stats body: the summarize-cache counters plus
-// the version store's pack-storage and checkout-cache counters.
+// the version store's pack-storage and checkout-cache counters and the
+// serving lifecycle (in-flight / shed) counters.
 type statsResponse struct {
 	Stats
-	Store store.Stats `json:"store"`
+	Store   store.Stats  `json:"store"`
+	Serving ServingStats `json:"serving"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, statsResponse{Stats: s.cache.Stats(), Store: s.store.Stats()})
+	writeJSON(w, http.StatusOK, statsResponse{
+		Stats:   s.cache.Stats(),
+		Store:   s.store.Stats(),
+		Serving: s.ServingStats(),
+	})
 }

@@ -104,11 +104,12 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 	// one CSV instead of one per version; cached snapshots short-circuit to
 	// the warm clone path. changedBy[i] is the per-step changed-attribute
 	// set.
+	ctx := r.Context()
 	ids := make([]string, len(chain))
 	for i, v := range chain {
 		ids[i] = v.ID
 	}
-	tables, err := history.MaterializeChain(s.store, ids)
+	tables, err := history.MaterializeChainContext(ctx, s.store, ids)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -231,23 +232,43 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sem <- struct{}{}
+			// The pool gate observes the request context: a cancelled or
+			// timed-out request stops dispatching steps instead of walking
+			// the rest of the lineage for a reader that is gone.
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				for ti := range targets {
+					cells[ti][i].err = ctx.Err()
+				}
+				return
+			}
 			defer func() { <-sem }()
-			var ctx *core.PairContext // built on the step's first cache miss
+			var pctx *core.PairContext // built on the step's first cache miss
 			from, to := chain[i].ID, chain[i+1].ID
 			for ti := range targets {
 				if !changedBy[i][targets[ti]] {
 					continue // NoChange step: no engine run
 				}
+				if err := ctx.Err(); err != nil {
+					cells[ti][i].err = err
+					return
+				}
 				key := from + "|" + to + "|" + fpByTarget[ti]
 				val, hit, err := s.cache.Do(key, func() (any, error) {
-					if ctx == nil {
+					if s.stepHook != nil {
+						s.stepHook()
+					}
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+					if pctx == nil {
 						var err error
-						if ctx, err = core.NewPairContext(aligned[i]); err != nil {
+						if pctx, err = core.NewPairContext(aligned[i]); err != nil {
 							return nil, err
 						}
 					}
-					return ctx.Summarize(optsByTarget[ti])
+					return pctx.Summarize(optsByTarget[ti])
 				})
 				c := &cells[ti][i]
 				c.run, c.hit, c.err = true, hit, err
@@ -258,6 +279,12 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 		}(i)
 	}
 	wg.Wait()
+	// A dead request context outranks per-step errors: the walk was
+	// abandoned, not broken.
+	if err := ctx.Err(); err != nil {
+		writeError(w, err)
+		return
+	}
 	for ti := range targets {
 		for i := range cells[ti] {
 			if err := cells[ti][i].err; err != nil {

@@ -1,0 +1,338 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"charles/internal/faultfs"
+	"charles/internal/gen"
+	"charles/internal/table"
+)
+
+// commitChain commits the chain into st, returning the ids of every commit
+// that SUCCEEDED (stopping at the first error, which is returned too).
+func crashCommitChain(st *Store, chain []*table.Table) ([]string, error) {
+	var ids []string
+	parent := ""
+	for i, tb := range chain {
+		v, err := st.Commit(tb, parent, fmt.Sprintf("step %d", i))
+		if err != nil {
+			return ids, err
+		}
+		ids = append(ids, v.ID)
+		parent = v.ID
+	}
+	return ids, nil
+}
+
+// TestCrashInjectionPropertySuite is the acceptance pin for crash-safe
+// storage: a 5-seed gen.MutateChain commit sequence is crashed at EVERY
+// injected fault point of the write path (create, write, sync, rename,
+// remove, dir-sync — learned by a fault-free probe run), and after each
+// crash the store must reopen from its durable state and verify completely
+// clean. Additionally, every commit that had already returned success
+// before the fault must still be present after the crash — Commit's return
+// is a durability promise.
+func TestCrashInjectionPropertySuite(t *testing.T) {
+	const dir = "db"
+	opts := Options{AnchorEvery: 3, TableCache: 4}
+	for seed := int64(1); seed <= 5; seed++ {
+		chain, err := gen.MutateChain(gen.FuzzConfig{N: 20, Steps: 5, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Probe run: count the fault points of the whole sequence.
+		probe := faultfs.New()
+		popts := opts
+		popts.FS = probe
+		pst, err := OpenWith(dir, popts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := crashCommitChain(pst, chain); err != nil {
+			t.Fatal(err)
+		}
+		points := probe.Ops()
+		if points < 10 {
+			t.Fatalf("seed %d: implausibly few fault points (%d) — is persistence still going through the FS seam?", seed, points)
+		}
+
+		for point := 0; point < points; point++ {
+			fsys := faultfs.New()
+			fsys.FailAt(point)
+			fopts := opts
+			fopts.FS = fsys
+			var committed []string
+			st, err := OpenWith(dir, fopts)
+			if err == nil {
+				committed, err = crashCommitChain(st, chain)
+			}
+			if err == nil {
+				t.Fatalf("seed %d point %d: fault never surfaced as an error", seed, point)
+			}
+			if !errors.Is(err, faultfs.ErrInjected) {
+				t.Fatalf("seed %d point %d: error %v does not wrap the injected fault", seed, point, err)
+			}
+
+			// Power cut, reboot: reopen from the durable state.
+			after := fsys.Crash()
+			ropts := opts
+			ropts.FS = after
+			st2, err := OpenWith(dir, ropts)
+			if err != nil {
+				t.Fatalf("seed %d point %d: reopen after crash: %v", seed, point, err)
+			}
+			rep, err := st2.Verify()
+			if err != nil {
+				t.Fatalf("seed %d point %d: verify: %v", seed, point, err)
+			}
+			if !rep.Clean() {
+				t.Fatalf("seed %d point %d: store corrupt after crash: %+v", seed, point, rep.Issues)
+			}
+			// Durability: every successfully returned commit survived.
+			for _, id := range committed {
+				if _, err := st2.Get(id); err != nil {
+					t.Fatalf("seed %d point %d: committed version %s lost in crash: %v", seed, point, id, err)
+				}
+			}
+			// And the survivors still reconstruct to the exact snapshots.
+			for i, id := range committed {
+				got, err := st2.Blob(id)
+				if err != nil {
+					t.Fatalf("seed %d point %d: blob %s: %v", seed, point, id, err)
+				}
+				want, err := canonicalCSV(chain[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("seed %d point %d: version %s content drifted after crash", seed, point, id)
+				}
+			}
+		}
+	}
+}
+
+// TestVerifyCleanAndTamperDetection pins Verify both ways on a real disk
+// store: a healthy chain verifies clean, a tampered pack is reported
+// against the right version (and its delta descendants), and the healthy
+// prefix keeps verifying.
+func TestVerifyCleanAndTamperDetection(t *testing.T) {
+	dir := t.TempDir()
+	chain, err := gen.MutateChain(gen.FuzzConfig{N: 20, Steps: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenWith(dir, Options{AnchorEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := crashCommitChain(st, chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := st.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || rep.Verified != len(ids) {
+		t.Fatalf("healthy store did not verify clean: %+v", rep)
+	}
+
+	// Tamper: flip bytes in the middle of version 2's pack body.
+	victim := ids[2]
+	path := filepath.Join(dir, "packs", victim+".pack")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh open (cold caches) must see the damage.
+	st2, err := OpenWith(dir, Options{AnchorEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = st2.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("tampered store verified clean")
+	}
+	flagged := map[string]bool{}
+	for _, iss := range rep.Issues {
+		flagged[iss.Version] = true
+	}
+	if !flagged[victim] {
+		t.Fatalf("issues %+v do not name the tampered version %s", rep.Issues, victim)
+	}
+	// Versions before the victim are independent of its pack and stay clean.
+	for _, id := range ids[:2] {
+		if flagged[id] {
+			t.Fatalf("healthy ancestor %s flagged: %+v", id, rep.Issues)
+		}
+	}
+}
+
+// TestRepairQuarantinesAndRestoresConsistency pins Repair end to end: after
+// tampering with a mid-chain pack, Repair drops the corrupt version plus
+// its dependents, moves their packs (and any strays) into quarantine/, and
+// the repaired store — including after a fresh reopen — verifies clean and
+// still serves the surviving prefix.
+func TestRepairQuarantinesAndRestoresConsistency(t *testing.T) {
+	dir := t.TempDir()
+	chain, err := gen.MutateChain(gen.FuzzConfig{N: 20, Steps: 4, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenWith(dir, Options{AnchorEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := crashCommitChain(st, chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := ids[2]
+	path := filepath.Join(dir, "packs", victim+".pack")
+	data, _ := os.ReadFile(path)
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Plus a stray orphan pack and a stale temp from a "crashed" publish.
+	if err := os.WriteFile(filepath.Join(dir, "packs", "deadbeef.pack"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json.tmp"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenWith(dir, Options{AnchorEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := st2.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The victim and every version downstream of it must be dropped: their
+	// lineage (and possibly delta chains) run through the damage.
+	wantDropped := map[string]bool{}
+	for _, id := range ids[2:] {
+		wantDropped[id] = true
+	}
+	gotDropped := map[string]bool{}
+	for _, id := range rep.Dropped {
+		gotDropped[id] = true
+	}
+	for id := range wantDropped {
+		if !gotDropped[id] {
+			t.Fatalf("dropped %v, want %s among them", rep.Dropped, id)
+		}
+	}
+	for _, id := range ids[:2] {
+		if gotDropped[id] {
+			t.Fatalf("healthy version %s dropped: %v", id, rep.Dropped)
+		}
+	}
+	if len(rep.Quarantined) == 0 {
+		t.Fatal("nothing quarantined")
+	}
+
+	// The repaired store verifies clean and serves the survivors.
+	vrep, err := st2.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vrep.Clean() || len(vrep.StrayFiles) != 0 {
+		t.Fatalf("store not clean after repair: %+v", vrep)
+	}
+	for i, id := range ids[:2] {
+		got, err := st2.Blob(id)
+		if err != nil {
+			t.Fatalf("blob %s after repair: %v", id, err)
+		}
+		want, err := canonicalCSV(chain[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("version %s content wrong after repair", id)
+		}
+	}
+	if _, err := st2.Get(victim); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("quarantined version still resolvable: %v", err)
+	}
+
+	// And so does a fresh process over the repaired directory.
+	st3, err := OpenWith(dir, Options{AnchorEvery: 3})
+	if err != nil {
+		t.Fatalf("reopen after repair: %v", err)
+	}
+	vrep, err = st3.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vrep.Clean() {
+		t.Fatalf("reopened repaired store not clean: %+v", vrep)
+	}
+	// Quarantined evidence is preserved on disk, not deleted.
+	qentries, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil || len(qentries) == 0 {
+		t.Fatalf("quarantine directory missing or empty: %v", err)
+	}
+}
+
+// TestVerifyReportsStrayFiles pins that orphans and temps show up as
+// strays (not corruption) and GC reclaims them.
+func TestVerifyReportsStrayFiles(t *testing.T) {
+	dir := t.TempDir()
+	src, _ := gen.Toy()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Commit(src, "", "root"); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "packs", "orphan.pack"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "packs", "orphan.pack.tmp"), []byte("y"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := st.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("strays misreported as corruption: %+v", rep.Issues)
+	}
+	if len(rep.StrayFiles) != 2 {
+		t.Fatalf("stray files = %v, want the orphan pack and the temp", rep.StrayFiles)
+	}
+	gc, err := st.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gc.OrphanPacks != 1 || gc.TempFiles != 1 {
+		t.Fatalf("GC report %+v, want 1 orphan + 1 temp", gc)
+	}
+	rep, err = st.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.StrayFiles) != 0 {
+		t.Fatalf("strays survived GC: %v", rep.StrayFiles)
+	}
+}

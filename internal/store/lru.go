@@ -67,6 +67,16 @@ func (c *lruCache[V]) add(id string, v V) {
 	}
 }
 
+// purge drops every entry (counters are kept). Repair uses it after
+// rewriting the manifest, so no cache can serve data for a version that
+// was just quarantined.
+func (c *lruCache[V]) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = map[string]*list.Element{}
+}
+
 // stats snapshots the counters.
 func (c *lruCache[V]) stats() (hits, misses int64, entries, capacity int) {
 	c.mu.Lock()

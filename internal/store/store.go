@@ -40,6 +40,7 @@ import (
 	"charles/internal/csvio"
 	"charles/internal/diff"
 	"charles/internal/table"
+	"charles/internal/vfs"
 )
 
 // ErrNotFound is returned for unknown version ids.
@@ -79,6 +80,11 @@ type Options struct {
 	// TableCache is the Checkout LRU capacity in decoded tables
 	// (0 means DefaultTableCache).
 	TableCache int
+	// FS is the filesystem persistence goes through (nil means the real
+	// OS filesystem with full fsync discipline). The seam exists for
+	// fault-injection testing: internal/faultfs implements it with
+	// simulated torn writes, rename failures, and power-cut truncation.
+	FS vfs.FS
 }
 
 func (o Options) withDefaults() Options {
@@ -87,6 +93,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.TableCache <= 0 {
 		o.TableCache = DefaultTableCache
+	}
+	if o.FS == nil {
+		o.FS = vfs.OS{}
 	}
 	return o
 }
@@ -114,6 +123,7 @@ type manifestV2 struct {
 type Store struct {
 	dir  string // "" = memory only
 	opts Options
+	fs   vfs.FS // opts.FS; every persistence operation goes through it
 
 	mu       sync.RWMutex
 	versions map[string]*Version
@@ -146,6 +156,7 @@ func OpenWith(dir string, opts Options) (*Store, error) {
 	s := &Store{
 		dir:      dir,
 		opts:     opts,
+		fs:       opts.FS,
 		versions: map[string]*Version{},
 		packs:    map[string]*packInfo{},
 		tables:   newLRU[*table.Table](opts.TableCache),
@@ -157,10 +168,10 @@ func OpenWith(dir string, opts Options) (*Store, error) {
 		s.mem = map[string][]byte{}
 		return s, nil
 	}
-	if err := os.MkdirAll(s.packDir(), 0o755); err != nil {
+	if err := s.fs.MkdirAll(s.packDir()); err != nil {
 		return nil, err
 	}
-	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	data, err := s.fs.ReadFile(filepath.Join(dir, "manifest.json"))
 	if errors.Is(err, os.ErrNotExist) {
 		return s, nil
 	}
@@ -187,7 +198,7 @@ func OpenWith(dir string, opts Options) (*Store, error) {
 		if pi == nil {
 			return nil, fmt.Errorf("%w: version %s has no pack index entry", ErrCorruptStore, v.ID)
 		}
-		if _, err := os.Stat(s.packPath(v.ID)); err != nil {
+		if _, err := s.fs.Stat(s.packPath(v.ID)); err != nil {
 			return nil, fmt.Errorf("%w: version %s: pack file: %v", ErrCorruptStore, v.ID, err)
 		}
 		s.versions[v.ID] = v
@@ -215,7 +226,7 @@ func (s *Store) migrateLegacy(manifest []byte) error {
 	sort.Slice(versions, func(i, j int) bool { return versions[i].Seq < versions[j].Seq })
 	blobs := make(map[string][]byte, len(versions))
 	for _, v := range versions {
-		blob, err := os.ReadFile(s.legacyPath(v.ID))
+		blob, err := s.fs.ReadFile(s.legacyPath(v.ID))
 		if err != nil {
 			return fmt.Errorf("%w: version %s: blob: %v", ErrCorruptStore, v.ID, err)
 		}
@@ -229,7 +240,7 @@ func (s *Store) migrateLegacy(manifest []byte) error {
 		if err != nil {
 			return fmt.Errorf("store: migrating version %s: %w", v.ID, err)
 		}
-		if err := os.WriteFile(s.packPath(v.ID), data, 0o644); err != nil {
+		if err := vfs.WriteAtomic(s.fs, s.packPath(v.ID), data); err != nil {
 			return err
 		}
 		s.versions[v.ID] = v
@@ -393,18 +404,28 @@ func (s *Store) Commit(t *table.Table, parent, message string) (*Version, error)
 	return v, nil
 }
 
+// persist is the two-phase durable commit. Phase one STAGES: the pack is
+// atomically written (temp → fsync → rename → dir fsync) under its
+// content-addressed name in packs/, where nothing references it yet — a
+// crash here leaves an invisible orphan that GC reclaims, never a torn or
+// half-visible version. Phase two PUBLISHES: the manifest, which is the
+// sole source of truth for which versions exist, is atomically replaced
+// with one that references the already-durable pack. A crash between the
+// phases (or anywhere inside either) reopens as the previous manifest
+// state plus at most one orphaned pack file.
 func (s *Store) persist(v *Version, pack []byte) error {
-	if err := os.WriteFile(s.packPath(v.ID), pack, 0o644); err != nil {
+	if err := vfs.WriteAtomic(s.fs, s.packPath(v.ID), pack); err != nil {
 		return err
 	}
 	return s.writeManifest()
 }
 
-// writeManifest serializes the v2 manifest via write-to-temp + rename, so a
-// crash mid-write can never leave a truncated manifest behind (migration
-// rewrites the manifest of a previously healthy store — a torn write there
-// would make every version unreadable). Caller holds the write lock (or is
-// single-threaded in Open).
+// writeManifest atomically replaces the v2 manifest: write-to-temp, fsync
+// the file, rename over manifest.json, fsync the directory — so neither a
+// crash mid-write (torn JSON) nor a power cut right after the rename (the
+// rename itself not yet durable) can leave the store unopenable or roll it
+// back to a state referencing missing packs. Caller holds the write lock
+// (or is single-threaded in Open).
 func (s *Store) writeManifest() error {
 	m := manifestV2{Format: storeFormat, Packs: s.packs}
 	for _, id := range s.order {
@@ -414,11 +435,7 @@ func (s *Store) writeManifest() error {
 	if err != nil {
 		return err
 	}
-	tmp := filepath.Join(s.dir, "manifest.json.tmp")
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, filepath.Join(s.dir, "manifest.json"))
+	return vfs.WriteAtomic(s.fs, filepath.Join(s.dir, "manifest.json"), data)
 }
 
 // packLink is one step of a reconstruction plan: the pack to decode and the
@@ -462,7 +479,7 @@ func (s *Store) reconstruct(chain []packLink) ([]byte, error) {
 		data := link.mem
 		if data == nil {
 			var err error
-			data, err = os.ReadFile(s.packPath(link.id))
+			data, err = s.fs.ReadFile(s.packPath(link.id))
 			if err != nil {
 				return nil, fmt.Errorf("%w: version %s: pack file: %v", ErrCorruptStore, link.id, err)
 			}
@@ -742,13 +759,15 @@ func (s *Store) Stats() Stats {
 type GCReport struct {
 	LegacyFiles    int   `json:"legacyFiles"` // migrated per-version CSVs removed
 	OrphanPacks    int   `json:"orphanPacks"` // pack files no manifest entry references
+	TempFiles      int   `json:"tempFiles"`   // stale atomic-write temps from crashed publishes
 	BytesReclaimed int64 `json:"bytesReclaimed"`
 }
 
 // GC removes storage the pack layout has superseded: legacy <id>.csv blobs
-// left behind by migration, and orphaned pack files (from rolled-back
-// commits) that no manifest entry references. Memory-only stores have
-// nothing to collect.
+// left behind by migration, orphaned pack files (from rolled-back commits
+// or crashes between the stage and publish phases) that no manifest entry
+// references, and stale .tmp files a crashed atomic write left behind.
+// Memory-only stores have nothing to collect.
 func (s *Store) GC() (GCReport, error) {
 	var rep GCReport
 	if s.dir == "" {
@@ -756,50 +775,72 @@ func (s *Store) GC() (GCReport, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return rep, err
 	}
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".csv") {
+		if e.IsDir() {
 			continue
 		}
-		id := strings.TrimSuffix(name, ".csv")
-		if _, ok := s.versions[id]; !ok {
-			continue // not ours: leave stray user files alone
+		switch {
+		case strings.HasSuffix(name, ".csv"):
+			id := strings.TrimSuffix(name, ".csv")
+			if _, ok := s.versions[id]; !ok {
+				continue // not ours: leave stray user files alone
+			}
+			info, err := e.Info()
+			if err != nil {
+				return rep, err
+			}
+			if err := s.fs.Remove(filepath.Join(s.dir, name)); err != nil {
+				return rep, err
+			}
+			rep.LegacyFiles++
+			rep.BytesReclaimed += info.Size()
+		case strings.HasSuffix(name, ".tmp"):
+			info, err := e.Info()
+			if err != nil {
+				return rep, err
+			}
+			if err := s.fs.Remove(filepath.Join(s.dir, name)); err != nil {
+				return rep, err
+			}
+			rep.TempFiles++
+			rep.BytesReclaimed += info.Size()
 		}
-		info, err := e.Info()
-		if err != nil {
-			return rep, err
-		}
-		if err := os.Remove(filepath.Join(s.dir, name)); err != nil {
-			return rep, err
-		}
-		rep.LegacyFiles++
-		rep.BytesReclaimed += info.Size()
 	}
-	packs, err := os.ReadDir(s.packDir())
+	packs, err := s.fs.ReadDir(s.packDir())
 	if err != nil {
 		return rep, err
 	}
 	for _, e := range packs {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".pack") {
+		if e.IsDir() {
 			continue
 		}
-		id := strings.TrimSuffix(name, ".pack")
-		if _, ok := s.packs[id]; ok {
+		isTemp := strings.HasSuffix(name, ".tmp")
+		if !isTemp && !strings.HasSuffix(name, ".pack") {
 			continue
+		}
+		if !isTemp {
+			if _, ok := s.packs[strings.TrimSuffix(name, ".pack")]; ok {
+				continue
+			}
 		}
 		info, err := e.Info()
 		if err != nil {
 			return rep, err
 		}
-		if err := os.Remove(filepath.Join(s.packDir(), name)); err != nil {
+		if err := s.fs.Remove(filepath.Join(s.packDir(), name)); err != nil {
 			return rep, err
 		}
-		rep.OrphanPacks++
+		if isTemp {
+			rep.TempFiles++
+		} else {
+			rep.OrphanPacks++
+		}
 		rep.BytesReclaimed += info.Size()
 	}
 	return rep, nil

@@ -1,0 +1,133 @@
+// Package vfs is the filesystem seam the version store writes through: a
+// minimal interface over the handful of operations persistence needs
+// (create/write/sync/rename/remove plus directory listing and syncing), an
+// OS implementation with real fsync discipline, and WriteAtomic — the
+// temp → write → fsync(file) → rename → fsync(dir) helper every durable
+// publish goes through.
+//
+// The seam exists so crash behavior is testable: internal/faultfs
+// implements FS with an in-memory volatile/durable split and injectable
+// faults (torn writes, failed renames, power-cut truncation), letting a
+// property test crash a commit sequence at every write-path operation and
+// assert the reopened store verifies clean.
+package vfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// File is a writable file handle. Data written is not durable until Sync
+// returns — and a file freshly created is not durably *named* until its
+// parent directory is synced (see FS.SyncDir).
+type File interface {
+	io.Writer
+	// Sync flushes the file's content to stable storage.
+	Sync() error
+	// Close releases the handle. Closing does NOT imply syncing.
+	Close() error
+}
+
+// FS is the set of filesystem operations the store's persistence uses.
+// Read operations return errors satisfying errors.Is(err, fs.ErrNotExist)
+// for missing paths, like the os package.
+type FS interface {
+	// MkdirAll creates path and any missing parents.
+	MkdirAll(path string) error
+	// ReadFile returns the current content of path.
+	ReadFile(path string) ([]byte, error)
+	// Create opens path for writing, truncating any existing content.
+	Create(path string) (File, error)
+	// Rename atomically replaces newPath with oldPath's file. The rename
+	// is atomic but not durable until the directory is synced.
+	Rename(oldPath, newPath string) error
+	// Remove deletes path.
+	Remove(path string) error
+	// Stat reports path's metadata.
+	Stat(path string) (fs.FileInfo, error)
+	// ReadDir lists path's entries sorted by name.
+	ReadDir(path string) ([]fs.DirEntry, error)
+	// SyncDir flushes path's directory entries (created, renamed, and
+	// removed names) to stable storage.
+	SyncDir(path string) error
+}
+
+// OS is the real filesystem, with Sync and SyncDir backed by fsync.
+type OS struct{}
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+// ReadFile implements FS.
+func (OS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// Create implements FS.
+func (OS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+// Rename implements FS.
+func (OS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
+
+// Remove implements FS.
+func (OS) Remove(path string) error { return os.Remove(path) }
+
+// Stat implements FS.
+func (OS) Stat(path string) (fs.FileInfo, error) { return os.Stat(path) }
+
+// ReadDir implements FS.
+func (OS) ReadDir(path string) ([]fs.DirEntry, error) { return os.ReadDir(path) }
+
+// SyncDir fsyncs the directory itself, making entry operations (creates,
+// renames, removals) durable. Without it a power cut after a rename can
+// resurrect the old directory state even though the rename "succeeded".
+func (OS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WriteAtomic durably publishes data at path: it writes to a same-directory
+// temp file, fsyncs the file, renames it over path, and fsyncs the
+// directory. After WriteAtomic returns nil the content is crash-durable;
+// after a crash at ANY intermediate point, path holds either its previous
+// content or the new content in full — never a torn mix — and at worst a
+// stale temp file is left behind for the caller's garbage collection.
+//
+// Callers that write unique paths (content-addressed packs) or serialize
+// writers (the manifest, under the store's write lock) never collide on the
+// temp name.
+func WriteAtomic(fsys FS, path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(path))
+}

@@ -1,6 +1,11 @@
 package charles
 
 import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+
 	"charles/internal/serve"
 	"charles/internal/store"
 )
@@ -14,11 +19,34 @@ type Server = serve.Server
 // ServerStats snapshots the service's result-cache counters.
 type ServerStats = serve.Stats
 
+// ServeConfig tunes the serving lifecycle: result-cache size, the
+// concurrency cap behind 429 load shedding, and the per-request deadline.
+// The zero value is the historical behavior (default cache, unlimited
+// concurrency, no deadline).
+type ServeConfig = serve.Config
+
+// ServingStats snapshots the lifecycle counters: concurrency cap, requests
+// in flight, requests shed with 429.
+type ServingStats = serve.ServingStats
+
 // NewServer wraps a version store in an http.Handler. cacheSize bounds the
 // summarize result cache (<=0 uses the default). The store may be shared
 // with other goroutines — it is safe for concurrent use.
 func NewServer(st *VersionStore, cacheSize int) *Server {
 	return serve.NewServer(st, cacheSize)
+}
+
+// NewServerWith is NewServer with the full serving lifecycle config.
+func NewServerWith(st *VersionStore, cfg ServeConfig) *Server {
+	return serve.NewServerWith(st, cfg)
+}
+
+// RunServer runs srv on ln until ctx is cancelled, then drains gracefully:
+// in-flight requests get drainTimeout to finish before being cancelled and
+// cut. A drained shutdown returns nil (http.ErrServerClosed is the clean
+// path, not an error).
+func RunServer(ctx context.Context, srv *http.Server, ln net.Listener, drainTimeout time.Duration) error {
+	return serve.Serve(ctx, srv, ln, drainTimeout)
 }
 
 // ErrLineageConflict is returned by VersionStore.Commit when content

@@ -25,6 +25,18 @@ type StoreStats = store.Stats
 // GCReport summarizes what VersionStore.GC reclaimed.
 type GCReport = store.GCReport
 
+// VerifyReport is the result of VersionStore.Verify — an fsck-style walk
+// that reconstructs every version from disk, re-hashes it against its
+// content id, and re-parses it, bypassing all caches.
+type VerifyReport = store.VerifyReport
+
+// VerifyIssue is one problem Verify found with one version.
+type VerifyIssue = store.VerifyIssue
+
+// RepairReport summarizes what VersionStore.Repair changed: the versions
+// dropped from the manifest and the files moved into quarantine/.
+type RepairReport = store.RepairReport
+
 // ErrCorruptStore is reported (wrapped, naming the version) when stored
 // data is missing, unreadable, or inconsistent with the manifest.
 var ErrCorruptStore = store.ErrCorruptStore
