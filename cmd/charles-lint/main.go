@@ -1,0 +1,116 @@
+// Command charles-lint is the multichecker for charles's project-specific
+// static analyzers: it machine-enforces the store/serve invariants the repo
+// otherwise keeps only by convention (the vfs write seam, typed corruption
+// errors, context plumbing, key encoding, lock hygiene).
+//
+// Usage:
+//
+//	charles-lint [-list] [package-root ...]
+//
+// Each argument is a directory tree to analyze ("./..." and a bare "./" are
+// accepted spellings of the module root). With no arguments the module
+// containing the current directory is analyzed. Exit status is 1 when any
+// finding survives the lint:allow directives, 2 on operational errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"charles/internal/analysis"
+	"charles/internal/analysis/suite"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: charles-lint [-list] [package-root ...]\n\nAnalyzers:\n")
+		for _, a := range suite.All() {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range suite.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"./..."}
+	}
+	findings := 0
+	for _, arg := range roots {
+		root := strings.TrimSuffix(strings.TrimSuffix(arg, "..."), string(filepath.Separator))
+		if root == "" || root == "." || root == "./" {
+			root = "."
+		}
+		modRoot, modPath, err := moduleFor(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "charles-lint:", err)
+			os.Exit(2)
+		}
+		// The corpus root is the requested subtree; import paths are still
+		// anchored at the module so path-scoped analyzers see real paths.
+		prefix := modPath
+		if rel, err := filepath.Rel(modRoot, absOrDie(root)); err == nil && rel != "." {
+			prefix = modPath + "/" + filepath.ToSlash(rel)
+		}
+		corpus, err := analysis.Load(root, prefix)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "charles-lint:", err)
+			os.Exit(2)
+		}
+		diags, err := corpus.Run(suite.All())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "charles-lint:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		findings += len(diags)
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "charles-lint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+var modPathRe = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// moduleFor locates the enclosing go.mod of dir and returns the module
+// root directory and module path.
+func moduleFor(dir string) (root, path string, err error) {
+	d := absOrDie(dir)
+	for {
+		data, rerr := os.ReadFile(filepath.Join(d, "go.mod"))
+		if rerr == nil {
+			m := modPathRe.FindSubmatch(data)
+			if m == nil {
+				return "", "", fmt.Errorf("%s/go.mod has no module directive", d)
+			}
+			return d, string(m[1]), nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+func absOrDie(p string) string {
+	a, err := filepath.Abs(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "charles-lint:", err)
+		os.Exit(2)
+	}
+	return a
+}

@@ -1,0 +1,144 @@
+// Package analysis is a small, dependency-free analogue of
+// golang.org/x/tools/go/analysis: just enough framework to write
+// project-specific static analyzers and run them over this module.
+//
+// The real x/tools framework is the obvious substrate for a lint suite, but
+// this repository builds in a hermetic environment with no module network
+// access, so the dependency is gated: the API surface here (Analyzer, Pass,
+// Reportf, an analysistest-style golden harness) deliberately mirrors the
+// x/tools shape so the analyzers port mechanically if/when the dependency
+// becomes available.
+//
+// Analyzers here are purely syntactic (go/ast + go/token, no go/types):
+// every invariant they enforce — the vfs write seam, typed corruption
+// errors, context plumbing, key encoding, lock hygiene — is local enough
+// that import-table plus AST shape identifies the pattern without type
+// information. That keeps the suite fast (one parse of the module) and free
+// of the type-checker's need for resolvable dependencies.
+//
+// Suppression: a finding is silenced by a directive comment
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the same line as the finding or on the line directly above it. The
+// reason is mandatory by convention (the analyzers' docs say why each
+// exemption class exists); the runner only requires the analyzer name.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// An Analyzer is one named check. Run inspects a single package via the
+// Pass and reports findings; returning an error aborts the whole run
+// (reserved for analyzer bugs, not findings).
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass presents one package of the loaded corpus to one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+
+	sink *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.sink = append(*p.sink, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one reported finding, with its resolved file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// A Package is one parsed package of the corpus: its module-relative import
+// path, package name, and syntax trees (test files are excluded — the
+// invariants guard production code, and tests legitimately use patterns
+// like context.Background or direct os calls).
+type Package struct {
+	Path  string // import path ("charles/internal/store"; testdata corpora use bare relative paths)
+	Name  string // package clause name
+	Dir   string
+	Files []*ast.File
+}
+
+// ImportName returns the local identifier by which f refers to the import
+// whose path is exactly path or ends in "/"+path ("" when not imported, or
+// imported blank/dot). Matching by suffix lets analyzer testdata stand in
+// for real packages: a fixture importing "charles/internal/table" and the
+// real code importing it resolve identically.
+func ImportName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		p := importPath(imp)
+		if p != path && !hasPathSuffix(p, path) {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		if i := lastSlash(p); i >= 0 {
+			return p[i+1:]
+		}
+		return p
+	}
+	return ""
+}
+
+func importPath(imp *ast.ImportSpec) string {
+	p := imp.Path.Value
+	if len(p) >= 2 && p[0] == '"' {
+		p = p[1 : len(p)-1]
+	}
+	return p
+}
+
+func hasPathSuffix(p, suffix string) bool {
+	return len(p) > len(suffix)+1 && p[len(p)-len(suffix)-1] == '/' && p[len(p)-len(suffix):] == suffix
+}
+
+func lastSlash(p string) int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}
+
+// SelectorCall unpacks a call of the form ident.Name(...) — the shape of a
+// qualified call on an imported package — into its two names. The caller
+// decides whether ident is actually a package (by matching it against
+// ImportName); without type information a local variable shadowing an
+// import would fool this, which the analyzers accept as a heuristic.
+func SelectorCall(call *ast.CallExpr) (pkg, name string, ok bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	return id.Name, sel.Sel.Name, true
+}

@@ -1,0 +1,120 @@
+// Package analysistest is a golden-file harness for internal/analysis
+// analyzers, mirroring golang.org/x/tools/go/analysis/analysistest: fixture
+// packages live under the analyzer's testdata/src/, and every line that
+// should produce a finding carries a trailing
+//
+//	// want "regexp"
+//
+// comment (several quoted regexps for several findings on one line). The
+// harness fails the test when a finding has no matching want, when a want
+// matches no finding, or when counts on a line disagree. Lines carrying a
+// lint:allow directive are suppressed by the runner before matching, so the
+// escape hatch is tested by the *absence* of a want on those lines.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"charles/internal/analysis"
+)
+
+// wantRe captures the trailing want comment; quotedRe extracts each quoted
+// regexp from it.
+var (
+	wantRe   = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	quotedRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+)
+
+// Run loads testdata/src under dir, restricts the corpus to the named
+// fixture package paths, runs the analyzer, and matches findings against
+// the fixtures' want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	root := filepath.Join(dir, "testdata", "src")
+	corpus, err := analysis.Load(root, "")
+	if err != nil {
+		t.Fatalf("loading %s: %v", root, err)
+	}
+	keep := corpus.Pkgs[:0]
+	want := map[string]bool{}
+	for _, p := range pkgPaths {
+		want[p] = true
+	}
+	for _, pkg := range corpus.Pkgs {
+		if want[pkg.Path] {
+			keep = append(keep, pkg)
+			delete(want, pkg.Path)
+		}
+	}
+	for p := range want {
+		t.Fatalf("fixture package %q not found under %s", p, root)
+	}
+	corpus.Pkgs = keep
+
+	diags, err := corpus.Run([]*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	type expectation struct {
+		re      *regexp.Regexp
+		raw     string
+		matched bool
+	}
+	// file:line -> pending expectations.
+	wants := map[string][]*expectation{}
+	for _, pkg := range corpus.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, cm := range cg.List {
+					m := wantRe.FindStringSubmatch(cm.Text)
+					if m == nil {
+						continue
+					}
+					pos := corpus.Fset.Position(cm.Pos())
+					key := lineKey(pos.Filename, pos.Line)
+					for _, q := range quotedRe.FindAllString(m[1], -1) {
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						}
+						wants[key] = append(wants[key], &expectation{re: re, raw: pat})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		key := lineKey(d.Pos.Filename, d.Pos.Line)
+		found := false
+		for _, exp := range wants[key] {
+			if !exp.matched && exp.re.MatchString(d.Message) {
+				exp.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected finding: %s", a.Name, d)
+		}
+	}
+	for key, exps := range wants {
+		for _, exp := range exps {
+			if !exp.matched {
+				t.Errorf("%s: no finding at %s matching %q", a.Name, key, exp.raw)
+			}
+		}
+	}
+}
+
+func lineKey(file string, line int) string {
+	return file + ":" + strconv.Itoa(line)
+}

@@ -1,0 +1,77 @@
+// Package corrupterr enforces the typed-corruption convention on the
+// store's read and decode paths: an error constructed inside a function
+// that decodes, parses, reconstructs, or otherwise reads persisted state
+// must wrap a sentinel with %w (in practice ErrCorruptStore, per the PR 5
+// convention of naming the offending version), never be a bare fmt.Errorf
+// or errors.New.
+//
+// The store's contract is that every way a damaged pack, blob, or manifest
+// can surface reports errors.Is(err, ErrCorruptStore) — serve maps that to
+// HTTP 500, verify/repair tooling branches on it, and tests pin it. A bare
+// error on a decode path silently exits that contract. Errors merely
+// *propagated* (return err) are fine: the construction site is where the
+// type is decided.
+package corrupterr
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+
+	"charles/internal/analysis"
+)
+
+// readPathFunc matches function names on the store's read/decode surface.
+// Deliberately broad — encode-side validation errors (unknown pack kinds)
+// land in the same reconstruct call chains, so they carry the type too.
+var readPathFunc = regexp.MustCompile(`(?i)(decode|parse|apply|reconstruct|plan|chain|blob|table|checkout|change|verify|open|migrate|key|pack|lineage)`)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "corrupterr",
+	Doc:  "store read/decode paths must wrap a typed sentinel (ErrCorruptStore) with %w, not return bare errors",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !strings.Contains(pass.Pkg.Path, "internal/store") {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		fmtName := analysis.ImportName(f, "fmt")
+		errorsName := analysis.ImportName(f, "errors")
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !readPathFunc.MatchString(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				pkg, name, ok := analysis.SelectorCall(call)
+				if !ok {
+					return true
+				}
+				switch {
+				case errorsName != "" && pkg == errorsName && name == "New":
+					pass.Reportf(call.Pos(),
+						"errors.New on store read path %s: wrap ErrCorruptStore with %%w so callers can errors.Is the corruption", fd.Name.Name)
+				case fmtName != "" && pkg == fmtName && name == "Errorf":
+					if len(call.Args) == 0 {
+						return true
+					}
+					lit, ok := call.Args[0].(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING || strings.Contains(lit.Value, "%w") {
+						return true
+					}
+					pass.Reportf(call.Pos(),
+						"untyped fmt.Errorf on store read path %s: wrap ErrCorruptStore with %%w so callers can errors.Is the corruption", fd.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

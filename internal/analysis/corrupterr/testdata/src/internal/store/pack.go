@@ -1,0 +1,41 @@
+// Fixture for corrupterr: error construction on read/decode-path functions
+// inside internal/store.
+package store
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrCorruptStore = errors.New("store: corrupt store")
+
+func decodePack(data []byte) error {
+	if len(data) == 0 {
+		return fmt.Errorf("empty pack") // want `untyped fmt\.Errorf on store read path decodePack`
+	}
+	if data[0] != 'p' {
+		return errors.New("bad magic") // want `errors\.New on store read path decodePack`
+	}
+	return nil
+}
+
+func parseOps(body []byte) error {
+	if len(body)%2 != 0 {
+		return fmt.Errorf("%w: odd op body of %d bytes", ErrCorruptStore, len(body)) // typed: fine
+	}
+	return nil
+}
+
+func applyDelta(base []byte, n int) error {
+	if n < 0 {
+		//lint:allow corrupterr negative n is caller misuse, not on-disk corruption
+		return fmt.Errorf("applyDelta: negative count %d", n)
+	}
+	return nil
+}
+
+// helperFormat does not match the read-path name heuristic, so ad-hoc
+// errors are its own business.
+func helperFormat(kind string) error {
+	return fmt.Errorf("unsupported kind %q", kind)
+}

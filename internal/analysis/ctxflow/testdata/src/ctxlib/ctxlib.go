@@ -1,0 +1,47 @@
+// Fixture for ctxflow: root contexts in library code and ctx-dropping
+// sibling calls.
+package ctxlib
+
+import "context"
+
+func work(n int) int { return n }
+
+// SummarizeAll is the compatibility-shim shape: a non-Context wrapper that
+// deliberately owns a root context, exempted with a documented directive.
+func SummarizeAll(n int) int {
+	//lint:allow ctxflow compatibility shim for pre-context callers
+	return SummarizeAllContext(context.Background(), n)
+}
+
+// SummarizeAllContext is the real implementation.
+func SummarizeAllContext(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return work(n)
+}
+
+// Undocumented root contexts are findings.
+func rogue(n int) int {
+	ctx := context.Background() // want `context\.Background\(\) in library code severs the caller's cancellation`
+	return SummarizeAllContext(ctx, n)
+}
+
+func rogueTODO(n int) int {
+	return SummarizeAllContext(context.TODO(), n) // want `context\.TODO\(\) in library code severs the caller's cancellation`
+}
+
+// A ctx-receiving function calling the non-Context sibling drops the
+// caller's cancellation: the rot mode shims invite.
+func walk(ctx context.Context, n int) int {
+	if n == 0 {
+		return SummarizeAll(n) // want `walk receives a ctx but calls SummarizeAll, which drops it; call SummarizeAllContext\(ctx, \.\.\.\)`
+	}
+	return SummarizeAllContext(ctx, n)
+}
+
+// Calling a sibling that has no Context variant is fine.
+func walkLeaf(ctx context.Context, n int) int {
+	_ = ctx
+	return work(n)
+}

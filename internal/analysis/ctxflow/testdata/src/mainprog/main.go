@@ -1,0 +1,10 @@
+// Fixture: package main owns its process lifetime; root contexts are the
+// correct thing there and the analyzer stays silent.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

@@ -1,0 +1,81 @@
+// Package keyenc pins the multi-column key-aliasing fix forever: outside
+// internal/table, composing an encoded key by hand — string concatenation
+// or strings.Join (or a Sprintf) involving table.KeySep — is banned.
+// Callers must use table.EncodeKey, which escapes the separator (and the
+// escape character itself) inside each part.
+//
+// The bug this guards against: a cell that happens to contain the
+// separator byte makes "a" + KeySep + "b\x1fc" collide with the key of
+// ("a\x1fb", "c"). EncodeKey is the single place that knows the escaping;
+// any ad-hoc concatenation reintroduces the aliasing silently, and no test
+// catches it until two real keys collide.
+package keyenc
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"charles/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "keyenc",
+	Doc:  "composing keys with table.KeySep outside internal/table is banned; use table.EncodeKey",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if strings.Contains(pass.Pkg.Path, "internal/table") {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		tableName := analysis.ImportName(f, "internal/table")
+		if tableName == "" {
+			continue
+		}
+		stringsName := analysis.ImportName(f, "strings")
+		fmtName := analysis.ImportName(f, "fmt")
+		mentionsKeySep := func(e ast.Expr) bool {
+			found := false
+			ast.Inspect(e, func(n ast.Node) bool {
+				if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "KeySep" {
+					if id, ok := sel.X.(*ast.Ident); ok && id.Name == tableName {
+						found = true
+						return false
+					}
+				}
+				return !found
+			})
+			return found
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op == token.ADD && (mentionsKeySep(n.X) || mentionsKeySep(n.Y)) {
+					pass.Reportf(n.Pos(),
+						"concatenating with table.KeySep aliases keys whose cells contain the separator; use table.EncodeKey")
+				}
+			case *ast.CallExpr:
+				pkg, name, ok := analysis.SelectorCall(n)
+				if !ok {
+					return true
+				}
+				joinish := (stringsName != "" && pkg == stringsName && name == "Join") ||
+					(fmtName != "" && pkg == fmtName && strings.HasPrefix(name, "Sprint"))
+				if !joinish {
+					return true
+				}
+				for _, arg := range n.Args {
+					if mentionsKeySep(arg) {
+						pass.Reportf(n.Pos(),
+							"%s.%s with table.KeySep aliases keys whose cells contain the separator; use table.EncodeKey", pkg, name)
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,11 @@
+package keyenc
+
+import (
+	"testing"
+
+	"charles/internal/analysis/analysistest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, ".", Analyzer, "consumer")
+}

@@ -1,0 +1,40 @@
+// Fixture for keyenc: hand-rolled key composition with table.KeySep
+// outside internal/table.
+package consumer
+
+import (
+	"fmt"
+	"strings"
+
+	"charles/internal/table"
+)
+
+func badConcat(a, b string) string {
+	return a + table.KeySep + b // want `concatenating with table\.KeySep aliases keys`
+}
+
+func badJoin(parts []string) string {
+	return strings.Join(parts, table.KeySep) // want `strings\.Join with table\.KeySep aliases keys`
+}
+
+func badSprintf(a, b string) string {
+	return fmt.Sprintf("%s%s%s", a, table.KeySep, b) // want `fmt\.Sprintf with table\.KeySep aliases keys`
+}
+
+func goodEncode(parts []string) string {
+	return table.EncodeKey(parts)
+}
+
+// Reading the separator (splitting, comparing) is not composing a key.
+func goodSplit(k string) []string {
+	return strings.Split(k, table.KeySep)
+}
+
+func goodCompare(c string) bool {
+	return c == table.KeySep
+}
+
+func exempted(a, b string) string {
+	//lint:allow keyenc test fixture building a deliberately aliased key
+	return a + table.KeySep + b
+}

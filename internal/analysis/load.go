@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// A Corpus is a parsed source tree: every non-test package under a root,
+// one shared FileSet, and the lint:allow directive index the runner
+// consults before surfacing findings.
+type Corpus struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	// allows maps "<filename>\x00<line>\x00<analyzer>" — a directive on a
+	// line suppresses that analyzer's findings on the same line and the
+	// line below.
+	allows map[string]bool
+}
+
+// allowRe matches lint:allow directives in // or /* comments. Several
+// analyzers may be named, comma-separated; everything after the names is
+// the human reason.
+var allowRe = regexp.MustCompile(`lint:allow\s+([A-Za-z0-9_,]+)`)
+
+// Load parses every buildable non-test package under root. modulePrefix is
+// prepended to directory-relative paths to form import paths ("charles" for
+// the real module, "" for analysistest corpora whose fixtures use bare
+// relative paths). Directories named testdata, vendor, or starting with "."
+// or "_" are skipped, as are _test.go files: the lint invariants target
+// production code, and tests legitimately use the banned patterns (direct
+// os calls to arrange fixtures, context.Background, ad-hoc errors).
+func Load(root, modulePrefix string) (*Corpus, error) {
+	c := &Corpus{Fset: token.NewFileSet(), allows: map[string]bool{}}
+	byDir := map[string][]string{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		byDir[dir] = append(byDir[dir], path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(byDir))
+	for dir := range byDir {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+	for _, dir := range dirs {
+		files := byDir[dir]
+		sort.Strings(files)
+		pkg := &Package{Dir: dir, Path: importPathFor(root, modulePrefix, dir)}
+		for _, fname := range files {
+			f, err := parser.ParseFile(c.Fset, fname, nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: parsing %s: %w", fname, err)
+			}
+			if pkg.Name == "" {
+				pkg.Name = f.Name.Name
+			}
+			if f.Name.Name != pkg.Name {
+				// Mixed package clauses in one directory (stray main
+				// fixtures); keep the first package and skip the stragglers
+				// rather than failing the whole corpus.
+				continue
+			}
+			pkg.Files = append(pkg.Files, f)
+			c.indexAllows(fname, f)
+		}
+		if len(pkg.Files) > 0 {
+			c.Pkgs = append(c.Pkgs, pkg)
+		}
+	}
+	return c, nil
+}
+
+func importPathFor(root, modulePrefix, dir string) string {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || rel == "." {
+		return modulePrefix
+	}
+	rel = filepath.ToSlash(rel)
+	if modulePrefix == "" {
+		return rel
+	}
+	return modulePrefix + "/" + rel
+}
+
+// indexAllows records every lint:allow directive in f.
+func (c *Corpus) indexAllows(fname string, f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, cm := range cg.List {
+			m := allowRe.FindStringSubmatch(cm.Text)
+			if m == nil {
+				continue
+			}
+			line := c.Fset.Position(cm.Pos()).Line
+			for _, name := range strings.Split(m[1], ",") {
+				if name == "" {
+					continue
+				}
+				c.allows[allowKey(fname, line, name)] = true
+			}
+		}
+	}
+}
+
+func allowKey(file string, line int, analyzer string) string {
+	return fmt.Sprintf("%s\x00%d\x00%s", file, line, analyzer)
+}
+
+// allowed reports whether a finding by analyzer at pos is suppressed by a
+// directive on its line or the line above.
+func (c *Corpus) allowed(analyzer string, pos token.Position) bool {
+	return c.allows[allowKey(pos.Filename, pos.Line, analyzer)] ||
+		c.allows[allowKey(pos.Filename, pos.Line-1, analyzer)]
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings (directive-suppressed ones removed, duplicates collapsed),
+// sorted by position.
+func (c *Corpus) Run(analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range c.Pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Fset: c.Fset, Pkg: pkg, sink: &all}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	seen := map[string]bool{}
+	var out []Diagnostic
+	for _, d := range all {
+		if c.allowed(d.Analyzer, d.Pos) {
+			continue
+		}
+		key := d.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}

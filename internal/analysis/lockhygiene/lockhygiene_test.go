@@ -1,0 +1,11 @@
+package lockhygiene
+
+import (
+	"testing"
+
+	"charles/internal/analysis/analysistest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, ".", Analyzer, "internal/serve")
+}

@@ -1,0 +1,69 @@
+// Fixture for lockhygiene: defer pairing and guarded-field access in a
+// serve-shaped package.
+package serve
+
+import "sync"
+
+type cache struct {
+	mu      sync.Mutex
+	entries int
+	items   map[string]int
+
+	capacity int // separate group: not guarded by mu
+}
+
+// Good: the canonical scoped lock.
+func (c *cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entries
+}
+
+// Bad: manual unlock leaks the lock on any early return added later.
+func (c *cache) Grow(n int) {
+	c.mu.Lock() // want `c\.mu\.Lock\(\) is not immediately followed by defer c\.mu\.Unlock\(\)`
+	c.entries += n
+	c.mu.Unlock()
+}
+
+// Bad: RLock pairs with RUnlock, not Unlock.
+type rwcache struct {
+	mu   sync.RWMutex
+	data map[string]string
+}
+
+func (c *rwcache) Get(k string) string {
+	c.mu.RLock() // want `c\.mu\.RLock\(\) is not immediately followed by defer c\.mu\.RUnlock\(\)`
+	defer c.mu.Unlock()
+	return c.data[k]
+}
+
+// Documented manual section: singleflight-style code must unlock before
+// blocking, so it carries the directive.
+func (c *cache) Swap(n int) int {
+	c.mu.Lock() //lint:allow lockhygiene must unlock before the blocking wait below
+	old := c.entries
+	c.entries = n
+	c.mu.Unlock()
+	return old
+}
+
+// Bad: exported method reads a guarded field with no lock in sight.
+func (c *cache) Peek() int {
+	return c.entries // want `exported method Peek touches mu-guarded field c\.entries without locking c\.mu`
+}
+
+// Good: the unguarded group is free to read bare.
+func (c *cache) Capacity() int {
+	return c.capacity
+}
+
+// Good: the Locked suffix documents that the caller holds the lock.
+func (c *cache) PeekLocked() int {
+	return c.entries
+}
+
+// Good: unexported helpers are the callee side of the Locked convention.
+func (c *cache) peek() int {
+	return c.entries
+}

@@ -1,0 +1,50 @@
+package suite
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"charles/internal/analysis"
+)
+
+// TestRepoIsLintClean runs the full analyzer suite over the repository and
+// requires zero findings — the merge gate from the lint issue, enforced as
+// a tier-1 test so it cannot drift even where CI configuration isn't run.
+// Every deliberate exemption in the tree is a lint:allow directive with a
+// reason, which the runner honors; anything else is a regression.
+func TestRepoIsLintClean(t *testing.T) {
+	root := moduleRoot(t)
+	corpus, err := analysis.Load(root, "charles")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := corpus.Run(All())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("charles-lint found %d violation(s); fix them or add a documented lint:allow", len(diags))
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,23 @@
+// Package suite is the registry of charles's project-specific analyzers —
+// the single list cmd/charles-lint, CI, and the repo self-test all run.
+package suite
+
+import (
+	"charles/internal/analysis"
+	"charles/internal/analysis/corrupterr"
+	"charles/internal/analysis/ctxflow"
+	"charles/internal/analysis/keyenc"
+	"charles/internal/analysis/lockhygiene"
+	"charles/internal/analysis/vfsdiscipline"
+)
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		corrupterr.Analyzer,
+		ctxflow.Analyzer,
+		keyenc.Analyzer,
+		lockhygiene.Analyzer,
+		vfsdiscipline.Analyzer,
+	}
+}

@@ -1,0 +1,55 @@
+// Fixture for vfsdiscipline: direct os filesystem calls inside a package
+// whose import path contains internal/store.
+package store
+
+import (
+	"errors"
+	"os"
+
+	"charles/internal/vfs"
+)
+
+type fakeStore struct {
+	fs vfs.FS
+}
+
+func (s *fakeStore) persistBad(path string, data []byte) error {
+	f, err := os.Create(path) // want `direct os\.Create bypasses the vfs\.FS seam`
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := os.WriteFile(path, data, 0o644); err != nil { // want `direct os\.WriteFile bypasses the vfs\.FS seam`
+		return err
+	}
+	if err := os.MkdirAll(path); err != nil { // want `direct os\.MkdirAll bypasses the vfs\.FS seam`
+		return err
+	}
+	if err := os.Rename(path, path+".bak"); err != nil { // want `direct os\.Rename bypasses the vfs\.FS seam`
+		return err
+	}
+	return os.Remove(path) // want `direct os\.Remove bypasses the vfs\.FS seam`
+}
+
+func (s *fakeStore) readBad(path string) ([]byte, error) {
+	return os.ReadFile(path) // want `direct os\.ReadFile bypasses the vfs\.FS seam`
+}
+
+func (s *fakeStore) persistGood(path string, data []byte) error {
+	// Going through the seam is the discipline the analyzer enforces.
+	return vfs.WriteAtomic(s.fs, path, data)
+}
+
+func (s *fakeStore) readGood(path string) ([]byte, error) {
+	b, err := s.fs.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) { // value reference, not a call: fine
+		return nil, err
+	}
+	return b, nil
+}
+
+func (s *fakeStore) exempted(path string) error {
+	//lint:allow vfsdiscipline migration probe must look at the real filesystem
+	_, err := os.Stat(path)
+	return err
+}

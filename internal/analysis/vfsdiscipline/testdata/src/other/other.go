@@ -1,0 +1,9 @@
+// Fixture: the same calls outside internal/store are not the analyzer's
+// business.
+package other
+
+import "os"
+
+func write(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

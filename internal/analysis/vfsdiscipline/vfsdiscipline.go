@@ -1,0 +1,63 @@
+// Package vfsdiscipline enforces the crash-safety seam introduced with the
+// fault-injection harness: inside internal/store, every filesystem
+// operation must go through the injectable vfs.FS (Options.FS) or
+// vfs.WriteAtomic, never the os package directly.
+//
+// The property test that power-cuts commits at every write-path operation
+// proves crash safety only for operations the faultfs filesystem can see.
+// A direct os.Create or os.Rename is invisible to it — the proof silently
+// stops covering that write — and a direct os.ReadFile reads the real disk
+// while the simulated store lives in memory, so reads are banned too.
+package vfsdiscipline
+
+import (
+	"go/ast"
+	"strings"
+
+	"charles/internal/analysis"
+)
+
+// banned is every os-package filesystem entry point the vfs.FS seam
+// replaces (or deliberately omits: store code has no business opening
+// handles or touching permissions outside the seam).
+var banned = map[string]bool{
+	"Create": true, "Open": true, "OpenFile": true,
+	"WriteFile": true, "ReadFile": true,
+	"Rename": true, "Remove": true, "RemoveAll": true,
+	"Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+	"ReadDir": true, "Stat": true, "Lstat": true,
+	"Truncate": true, "Chmod": true, "Chtimes": true,
+	"Symlink": true, "Link": true, "CreateTemp": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "vfsdiscipline",
+	Doc:  "internal/store must do filesystem I/O through the vfs.FS seam, not the os package",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !strings.Contains(pass.Pkg.Path, "internal/store") {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		osName := analysis.ImportName(f, "os")
+		if osName == "" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := analysis.SelectorCall(call)
+			if !ok || pkg != osName || !banned[name] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"direct os.%s bypasses the vfs.FS seam; use the store's Options.FS (or vfs.WriteAtomic) so fault injection keeps covering this path", name)
+			return true
+		})
+	}
+	return nil
+}

@@ -326,12 +326,12 @@ func (m memInfo) Mode() fs.FileMode {
 	}
 	return 0o644
 }
-func (m memInfo) ModTime() time.Time          { return time.Time{} }
-func (m memInfo) IsDir() bool                 { return m.isDir }
-func (m memInfo) Sys() any                    { return nil }
-func (m memInfo) Type() fs.FileMode           { return m.Mode().Type() }
-func (m memInfo) Info() (fs.FileInfo, error)  { return m, nil }
-func (m memInfo) String() string              { return fmt.Sprintf("faultfs entry %s", m.name) }
+func (m memInfo) ModTime() time.Time         { return time.Time{} }
+func (m memInfo) IsDir() bool                { return m.isDir }
+func (m memInfo) Sys() any                   { return nil }
+func (m memInfo) Type() fs.FileMode          { return m.Mode().Type() }
+func (m memInfo) Info() (fs.FileInfo, error) { return m, nil }
+func (m memInfo) String() string             { return fmt.Sprintf("faultfs entry %s", m.name) }
 
 // Stat implements vfs.FS.
 func (f *FS) Stat(path string) (fs.FileInfo, error) {

@@ -103,7 +103,7 @@ type MultiTimeline struct {
 // steps are independent and merged in step order, and the engine itself is
 // deterministic and scheduling-independent.
 func SummarizeAll(snapshots []*table.Table, base core.Options) (*MultiTimeline, error) {
-	return SummarizeAllContext(context.Background(), snapshots, base)
+	return SummarizeAllContext(context.Background(), snapshots, base) //lint:allow ctxflow compatibility shim for pre-context callers; new code calls SummarizeAllContext
 }
 
 // SummarizeAllContext is SummarizeAll bounded by ctx: a cancelled or expired
@@ -174,7 +174,7 @@ type SnapshotAdmitter interface {
 // plain CheckoutSources fall back to a regular checkout per id. The returned
 // tables are identical to per-id checkouts, row order included.
 func MaterializeChain(src CheckoutSource, ids []string) ([]*table.Table, error) {
-	return MaterializeChainContext(context.Background(), src, ids)
+	return MaterializeChainContext(context.Background(), src, ids) //lint:allow ctxflow compatibility shim for pre-context callers; new code calls MaterializeChainContext
 }
 
 // MaterializeChainContext is MaterializeChain bounded by ctx: the walk
@@ -227,7 +227,7 @@ func MaterializeChainContext(ctx context.Context, src CheckoutSource, ids []stri
 // SummarizeAll. It is the store-backed batch timeline: ids usually come from
 // Store.Chain(head).
 func SummarizeChain(src CheckoutSource, ids []string, base core.Options) (*MultiTimeline, error) {
-	return SummarizeChainContext(context.Background(), src, ids, base)
+	return SummarizeChainContext(context.Background(), src, ids, base) //lint:allow ctxflow compatibility shim for pre-context callers; new code calls SummarizeChainContext
 }
 
 // SummarizeChainContext is SummarizeChain bounded by ctx: both the chain
@@ -307,7 +307,7 @@ func forEachStep(ctx context.Context, steps, workers int, fn func(i int, engineB
 // (the sequential single-target path) except that unchanged steps carry no
 // Ranked entry at all rather than the engine's explicit no-change result.
 func SummarizeTarget(snapshots []*table.Table, target string, base core.Options) (*Timeline, error) {
-	return SummarizeTargetContext(context.Background(), snapshots, target, base)
+	return SummarizeTargetContext(context.Background(), snapshots, target, base) //lint:allow ctxflow compatibility shim for pre-context callers; new code calls SummarizeTargetContext
 }
 
 // SummarizeTargetContext is SummarizeTarget bounded by ctx (see

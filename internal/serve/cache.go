@@ -61,7 +61,10 @@ func newResultCache(capacity int) *resultCache {
 // many goroutines ask concurrently. hit reports whether the value came from
 // the LRU without waiting on any computation.
 func (c *resultCache) Do(key string, compute func() (any, error)) (val any, hit bool, err error) {
-	c.mu.Lock()
+	// Singleflight cannot defer-scope this lock: it must be released before
+	// blocking on an in-flight call (or running compute), and every exit path
+	// below unlocks explicitly first.
+	c.mu.Lock() //lint:allow lockhygiene singleflight unlocks before blocking on the in-flight call
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
@@ -87,11 +90,11 @@ func (c *resultCache) Do(key string, compute func() (any, error)) (val any, hit 
 	defer func() {
 		close(cl.done)
 		c.mu.Lock()
+		defer c.mu.Unlock()
 		delete(c.calls, key)
 		if cl.err == nil {
 			c.insert(key, cl.val)
 		}
-		c.mu.Unlock()
 	}()
 	cl.val, cl.err = compute()
 	return cl.val, false, cl.err

@@ -23,7 +23,7 @@ func Serve(ctx context.Context, srv *http.Server, ln net.Listener, drainTimeout 
 	// only when the drain deadline expires, so handlers stuck in
 	// context-aware work (timeline walks, history pools) stop instead of
 	// leaking past the force-close.
-	reqCtx, cancelReqs := context.WithCancel(context.Background())
+	reqCtx, cancelReqs := context.WithCancel(context.Background()) //lint:allow ctxflow BaseContext must outlive ctx through the drain window; deriving from ctx would abort draining requests at SIGTERM
 	defer cancelReqs()
 	srv.BaseContext = func(net.Listener) context.Context { return reqCtx }
 
@@ -37,7 +37,7 @@ func Serve(ctx context.Context, srv *http.Server, ln net.Listener, drainTimeout 
 	case <-ctx.Done():
 	}
 
-	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout) //lint:allow ctxflow the drain deadline must keep running after ctx (the SIGTERM context) is already cancelled
 	defer cancel()
 	err := srv.Shutdown(dctx)
 	if errors.Is(err, context.DeadlineExceeded) {

@@ -3,7 +3,6 @@ package store
 import (
 	"bytes"
 	"fmt"
-	"os"
 
 	"charles/internal/csvio"
 	"charles/internal/diff"
@@ -24,11 +23,18 @@ func (s *Store) changeSetFor(id string) (*ChangeSet, error) {
 	if cs, ok := s.changes.get(id); ok {
 		return cs, nil
 	}
-	s.mu.RLock()
-	_, vok := s.versions[id]
-	pi, pok := s.packs[id]
-	mem := s.mem[id]
-	s.mu.RUnlock()
+	var (
+		vok, pok bool
+		pi       *packInfo
+		mem      []byte
+	)
+	func() {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		_, vok = s.versions[id]
+		pi, pok = s.packs[id]
+		mem = s.mem[id]
+	}()
 	if !vok {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
@@ -45,14 +51,17 @@ func (s *Store) changeSetFor(id string) (*ChangeSet, error) {
 	data := mem
 	if data == nil {
 		var err error
-		data, err = os.ReadFile(s.packPath(id))
+		// Through the vfs seam, like every read the crash-injection suite
+		// must be able to fault — a direct os.ReadFile here would read the
+		// real filesystem out from under a faultfs-backed store.
+		data, err = s.fs.ReadFile(s.packPath(id))
 		if err != nil {
 			return nil, fmt.Errorf("%w: version %s: pack file: %v", ErrCorruptStore, id, err)
 		}
 	}
 	meta, body, err := decodePack(data)
 	if err != nil {
-		return nil, fmt.Errorf("%w: version %s: %v", ErrCorruptStore, id, err)
+		return nil, corruptVersion(id, err)
 	}
 	if meta.ID != id {
 		return nil, fmt.Errorf("%w: version %s: pack holds %s", ErrCorruptStore, id, meta.ID)
@@ -62,7 +71,7 @@ func (s *Store) changeSetFor(id string) (*ChangeSet, error) {
 	}
 	ops, err := parseOps(body)
 	if err != nil {
-		return nil, fmt.Errorf("%w: version %s: %v", ErrCorruptStore, id, err)
+		return nil, corruptVersion(id, err)
 	}
 	for _, op := range ops {
 		switch op.kind {

@@ -6,7 +6,6 @@ import (
 	"compress/gzip"
 	"encoding/csv"
 	"encoding/json"
-	"fmt"
 	"io"
 	"sort"
 	"strconv"
@@ -89,7 +88,7 @@ func encodePack(meta packMeta, full []byte, ops []deltaOp) ([]byte, error) {
 					rec = append(rec, strconv.Itoa(c), op.vals[i])
 				}
 			default:
-				return nil, fmt.Errorf("store: unknown delta op %q", op.kind)
+				return nil, corruptf("unknown delta op %q", op.kind)
 			}
 			if err := cw.Write(rec); err != nil {
 				return nil, err
@@ -100,7 +99,7 @@ func encodePack(meta packMeta, full []byte, ops []deltaOp) ([]byte, error) {
 			return nil, err
 		}
 	default:
-		return nil, fmt.Errorf("store: unknown pack kind %q", meta.Kind)
+		return nil, corruptf("unknown pack kind %q", meta.Kind)
 	}
 	if err := zw.Close(); err != nil {
 		return nil, err
@@ -109,27 +108,30 @@ func encodePack(meta packMeta, full []byte, ops []deltaOp) ([]byte, error) {
 }
 
 // decodePack decompresses a pack file into its meta line and raw body.
+// Every failure — a torn gzip stream, an unreadable header, a format the
+// code does not know — is ErrCorruptStore-typed at the construction site:
+// callers add version context with corruptVersion, never re-type.
 func decodePack(data []byte) (packMeta, []byte, error) {
 	var meta packMeta
 	zr, err := gzip.NewReader(bytes.NewReader(data))
 	if err != nil {
-		return meta, nil, err
+		return meta, nil, corruptf("pack gzip: %v", err)
 	}
 	defer zr.Close()
 	br := bufio.NewReader(zr)
 	head, err := br.ReadBytes('\n')
 	if err != nil {
-		return meta, nil, fmt.Errorf("pack header: %w", err)
+		return meta, nil, corruptf("pack header: %v", err)
 	}
 	if err := json.Unmarshal(head, &meta); err != nil {
-		return meta, nil, fmt.Errorf("pack header: %w", err)
+		return meta, nil, corruptf("pack header: %v", err)
 	}
 	if meta.Format != packFormat {
-		return meta, nil, fmt.Errorf("pack format %q unsupported", meta.Format)
+		return meta, nil, corruptf("pack format %q unsupported", meta.Format)
 	}
 	body, err := io.ReadAll(br)
 	if err != nil {
-		return meta, nil, err
+		return meta, nil, corruptf("pack body: %v", err)
 	}
 	return meta, body, nil
 }
@@ -145,10 +147,10 @@ func parseOps(body []byte) ([]deltaOp, error) {
 			return ops, nil
 		}
 		if err != nil {
-			return nil, err
+			return nil, corruptf("delta ops: %v", err)
 		}
 		if len(rec) < 2 {
-			return nil, fmt.Errorf("delta op with %d fields", len(rec))
+			return nil, corruptf("delta op with %d fields", len(rec))
 		}
 		op := deltaOp{key: rec[1]}
 		switch rec[0] {
@@ -161,18 +163,18 @@ func parseOps(body []byte) ([]deltaOp, error) {
 			op.kind = '~'
 			rest := rec[2:]
 			if len(rest) == 0 || len(rest)%2 != 0 {
-				return nil, fmt.Errorf("update op for key %q has %d fields", op.key, len(rest))
+				return nil, corruptf("update op for key %q has %d fields", op.key, len(rest))
 			}
 			for i := 0; i < len(rest); i += 2 {
 				c, err := strconv.Atoi(rest[i])
 				if err != nil || c < 0 {
-					return nil, fmt.Errorf("update op for key %q: bad column index %q", op.key, rest[i])
+					return nil, corruptf("update op for key %q: bad column index %q", op.key, rest[i])
 				}
 				op.cols = append(op.cols, c)
 				op.vals = append(op.vals, rest[i+1])
 			}
 		default:
-			return nil, fmt.Errorf("unknown delta op %q", rec[0])
+			return nil, corruptf("unknown delta op %q", rec[0])
 		}
 		ops = append(ops, op)
 	}
@@ -212,7 +214,7 @@ func keyIndices(header, key []string) ([]int, error) {
 			}
 		}
 		if pos < 0 {
-			return nil, fmt.Errorf("key column %q not in header", k)
+			return nil, corruptf("key column %q not in header", k)
 		}
 		idx[i] = pos
 	}
@@ -342,10 +344,10 @@ func applyDelta(parentBlob []byte, ops []deltaOp, key []string, wantRows int) ([
 		for oi < len(ops) && (!bounded || ops[oi].key < limit) {
 			op := ops[oi]
 			if op.kind != '+' {
-				return fmt.Errorf("op %q for key %q not present in base", op.kind, op.key)
+				return corruptf("op %q for key %q not present in base", op.kind, op.key)
 			}
 			if len(op.row) != len(header) {
-				return fmt.Errorf("insert for key %q has %d fields, want %d", op.key, len(op.row), len(header))
+				return corruptf("insert for key %q has %d fields, want %d", op.key, len(op.row), len(header))
 			}
 			oi++
 			if err := emit(op.row); err != nil {
@@ -376,7 +378,7 @@ func applyDelta(parentBlob []byte, ops []deltaOp, key []string, wantRows int) ([
 				patched := append([]string(nil), rec...)
 				for i, ci := range op.cols {
 					if ci < 0 || ci >= len(patched) {
-						return nil, fmt.Errorf("update for key %q: column %d out of range", k, ci)
+						return nil, corruptf("update for key %q: column %d out of range", k, ci)
 					}
 					patched[ci] = op.vals[i]
 				}
@@ -384,7 +386,7 @@ func applyDelta(parentBlob []byte, ops []deltaOp, key []string, wantRows int) ([
 					return nil, err
 				}
 			case '+':
-				return nil, fmt.Errorf("insert for key %q already present in base", k)
+				return nil, corruptf("insert for key %q already present in base", k)
 			}
 			continue
 		}
@@ -399,7 +401,7 @@ func applyDelta(parentBlob []byte, ops []deltaOp, key []string, wantRows int) ([
 		return nil, err
 	}
 	if rows != wantRows {
-		return nil, fmt.Errorf("reconstructed %d rows, pack declares %d", rows, wantRows)
+		return nil, corruptf("reconstructed %d rows, pack declares %d", rows, wantRows)
 	}
 	return buf.Bytes(), nil
 }

@@ -1,0 +1,202 @@
+package store
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"charles/internal/csvio"
+)
+
+// commitCSV parses csvText (primary key "id") and commits it.
+func commitCSV(t *testing.T, s *Store, csvText, parent, msg string) *Version {
+	t.Helper()
+	tab, err := csvio.Read(bytes.NewReader([]byte(csvText)), csvio.Options{Key: []string{"id"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Commit(tab, parent, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// writeRawFile overwrites a store file directly, simulating on-disk damage
+// behind the store's back.
+func writeRawFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+// gzipped wraps raw bytes in a gzip stream, bypassing encodePack — these
+// tests hand-craft damaged pack files.
+func gzipped(t *testing.T, raw string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write([]byte(raw)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// Every error a pack decode path constructs must be ErrCorruptStore-typed,
+// so callers can errors.Is their way to "restore from backup" without
+// string-matching. Each case below pins one construction site that was
+// formerly a bare fmt.Errorf/errors.New.
+func TestPackDecodeErrorsAreCorruptStoreTyped(t *testing.T) {
+	parent := []byte("id,v\n1,a\n2,b\n")
+	key := []string{"id"}
+
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"encodePack unknown op kind", func() error {
+			_, err := encodePack(packMeta{Format: packFormat, Kind: packDelta},
+				nil, []deltaOp{{key: "k", kind: '?'}})
+			return err
+		}},
+		{"encodePack unknown pack kind", func() error {
+			_, err := encodePack(packMeta{Format: packFormat, Kind: "bogus"}, nil, nil)
+			return err
+		}},
+		{"decodePack torn gzip", func() error {
+			_, _, err := decodePack([]byte("not a gzip stream"))
+			return err
+		}},
+		{"decodePack truncated header", func() error {
+			_, _, err := decodePack(gzipped(t, `{"format":"charles-pack/1"`))
+			return err
+		}},
+		{"decodePack malformed header JSON", func() error {
+			_, _, err := decodePack(gzipped(t, "not json\n"))
+			return err
+		}},
+		{"decodePack unsupported format", func() error {
+			_, _, err := decodePack(gzipped(t, `{"format":"charles-pack/999"}`+"\n"))
+			return err
+		}},
+		{"parseOps malformed CSV", func() error {
+			_, err := parseOps([]byte("-,k\n\"unterminated"))
+			return err
+		}},
+		{"parseOps short record", func() error {
+			_, err := parseOps([]byte("-\n"))
+			return err
+		}},
+		{"parseOps update with odd fields", func() error {
+			_, err := parseOps([]byte("~,k,3\n"))
+			return err
+		}},
+		{"parseOps update with non-numeric column", func() error {
+			_, err := parseOps([]byte("~,k,x,val\n"))
+			return err
+		}},
+		{"parseOps update with negative column", func() error {
+			_, err := parseOps([]byte("~,k,-1,val\n"))
+			return err
+		}},
+		{"parseOps unknown op", func() error {
+			_, err := parseOps([]byte("z,k\n"))
+			return err
+		}},
+		{"keyIndices missing key column", func() error {
+			_, err := keyIndices([]string{"a", "b"}, []string{"id"})
+			return err
+		}},
+		{"applyDelta non-insert op absent from base", func() error {
+			_, err := applyDelta(parent, []deltaOp{{key: "0", kind: '-'}}, key, 2)
+			return err
+		}},
+		{"applyDelta insert with wrong width", func() error {
+			_, err := applyDelta(parent, []deltaOp{{key: "0", kind: '+', row: []string{"0"}}}, key, 3)
+			return err
+		}},
+		{"applyDelta update column out of range", func() error {
+			_, err := applyDelta(parent,
+				[]deltaOp{{key: "1", kind: '~', cols: []int{5}, vals: []string{"x"}}}, key, 2)
+			return err
+		}},
+		{"applyDelta insert already present", func() error {
+			_, err := applyDelta(parent,
+				[]deltaOp{{key: "1", kind: '+', row: []string{"1", "z"}}}, key, 2)
+			return err
+		}},
+		{"applyDelta row count mismatch", func() error {
+			_, err := applyDelta(parent, nil, key, 99)
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.err()
+			if err == nil {
+				t.Fatal("expected an error")
+			}
+			if !errors.Is(err, ErrCorruptStore) {
+				t.Fatalf("error is not ErrCorruptStore-typed: %v", err)
+			}
+		})
+	}
+}
+
+// Version-level wrapping: a store whose pack file is damaged on disk must
+// surface ErrCorruptStore naming the version, end to end through Checkout
+// and Changes — not just from the decode helpers in isolation.
+func TestDamagedPackSurfacesTypedErrorEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Big enough that the child's one-cell delta beats a full pack, so v2 is
+	// stored as a delta and Changes must decode its pack file.
+	var base, child bytes.Buffer
+	base.WriteString("id,v\n")
+	child.WriteString("id,v\n")
+	for i := 10; i < 60; i++ {
+		fmt.Fprintf(&base, "%d,row-%d-padding-padding-padding\n", i, i)
+		val := i
+		if i == 25 {
+			val = -1
+		}
+		fmt.Fprintf(&child, "%d,row-%d-padding-padding-padding\n", i, val)
+	}
+	v1 := commitCSV(t, s, base.String(), "", "root")
+	v2 := commitCSV(t, s, child.String(), v1.ID, "child")
+	if s.packs[v2.ID].Kind != packDelta {
+		t.Fatalf("test setup: v2 should be delta-encoded, got %q", s.packs[v2.ID].Kind)
+	}
+
+	// Corrupt v2's pack in place and reopen so no cache can mask the damage.
+	if err := writeRawFile(s.packPath(v2.ID), []byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, call := range map[string]func() error{
+		"Checkout": func() error { _, err := s2.Checkout(v2.ID); return err },
+		"Blob":     func() error { _, err := s2.Blob(v2.ID); return err },
+		"Changes":  func() error { _, err := s2.Changes(v2.ID); return err },
+	} {
+		err := call()
+		if err == nil {
+			t.Fatalf("%s: expected an error for the damaged pack", name)
+		}
+		if !errors.Is(err, ErrCorruptStore) {
+			t.Fatalf("%s: error is not ErrCorruptStore-typed: %v", name, err)
+		}
+		if !bytes.Contains([]byte(err.Error()), []byte(v2.ID)) {
+			t.Fatalf("%s: error does not name the damaged version: %v", name, err)
+		}
+	}
+}

@@ -60,6 +60,25 @@ var ErrLineageConflict = errors.New("store: lineage conflict")
 // learns exactly which version is damaged.
 var ErrCorruptStore = errors.New("store: corrupt store")
 
+// corruptf builds an ErrCorruptStore-typed error. Every error *constructed*
+// on a read/decode path goes through it (machine-enforced by the corrupterr
+// analyzer), so errors.Is(err, ErrCorruptStore) holds on every way damaged
+// data can surface.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrCorruptStore}, args...)...)
+}
+
+// corruptVersion tags err with the offending version id, establishing the
+// ErrCorruptStore chain if the inner error is not already typed (an os-level
+// read failure) and preserving it without re-prefixing if it is (a decode
+// helper's corruptf error).
+func corruptVersion(id string, err error) error {
+	if errors.Is(err, ErrCorruptStore) {
+		return fmt.Errorf("version %s: %w", id, err)
+	}
+	return corruptf("version %s: %v", id, err)
+}
+
 // DefaultAnchorEvery is the default anchor interval: a delta chain reaching
 // this length is cut by storing the next commit as a full snapshot.
 const DefaultAnchorEvery = 8
@@ -190,7 +209,10 @@ func OpenWith(dir string, opts Options) (*Store, error) {
 		return nil, fmt.Errorf("store: corrupt manifest: %w", err)
 	}
 	if m.Format != storeFormat {
-		return nil, fmt.Errorf("store: manifest format %q unsupported", m.Format)
+		// Version skew, not damage: a newer tool wrote this store. Typing it
+		// ErrCorruptStore would tell the operator to restore from backup when
+		// the right fix is upgrading the binary.
+		return nil, fmt.Errorf("store: manifest format %q unsupported", m.Format) //lint:allow corrupterr format skew is not corruption
 	}
 	sort.Slice(m.Versions, func(i, j int) bool { return m.Versions[i].Seq < m.Versions[j].Seq })
 	for _, v := range m.Versions {
@@ -323,19 +345,26 @@ func (s *Store) Commit(t *table.Table, parent, message string) (*Version, error)
 	id := contentID(blob, t.Key())
 
 	// Phase 1 (shared lock): validate the parent and snapshot the parent
-	// state the encoder needs.
-	s.mu.RLock()
-	parentOK := parent == ""
-	existing := s.versions[id]
-	var pv *Version
-	var ppi *packInfo
-	if parent != "" {
-		if pv = s.versions[parent]; pv != nil {
-			parentOK = true
-			ppi = s.packs[parent]
+	// state the encoder needs. The closure scopes the critical section so
+	// the lock is defer-released even if the lookups grow early returns.
+	var (
+		parentOK bool
+		existing *Version
+		pv       *Version
+		ppi      *packInfo
+	)
+	func() {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		parentOK = parent == ""
+		existing = s.versions[id]
+		if parent != "" {
+			if pv = s.versions[parent]; pv != nil {
+				parentOK = true
+				ppi = s.packs[parent]
+			}
 		}
-	}
-	s.mu.RUnlock()
+	}()
 	if !parentOK {
 		return nil, fmt.Errorf("%w: parent %q", ErrNotFound, parent)
 	}
@@ -486,7 +515,7 @@ func (s *Store) reconstruct(chain []packLink) ([]byte, error) {
 		}
 		meta, body, err := decodePack(data)
 		if err != nil {
-			return nil, fmt.Errorf("%w: version %s: %v", ErrCorruptStore, link.id, err)
+			return nil, corruptVersion(link.id, err)
 		}
 		if meta.ID != link.id {
 			return nil, fmt.Errorf("%w: version %s: pack holds %s", ErrCorruptStore, link.id, meta.ID)
@@ -500,11 +529,11 @@ func (s *Store) reconstruct(chain []packLink) ([]byte, error) {
 			}
 			ops, err := parseOps(body)
 			if err != nil {
-				return nil, fmt.Errorf("%w: version %s: %v", ErrCorruptStore, link.id, err)
+				return nil, corruptVersion(link.id, err)
 			}
 			blob, err = applyDelta(blob, ops, link.key, link.rows)
 			if err != nil {
-				return nil, fmt.Errorf("%w: version %s: %v", ErrCorruptStore, link.id, err)
+				return nil, corruptVersion(link.id, err)
 			}
 		default:
 			return nil, fmt.Errorf("%w: version %s: unknown pack kind %q", ErrCorruptStore, link.id, meta.Kind)
@@ -517,14 +546,19 @@ func (s *Store) reconstruct(chain []packLink) ([]byte, error) {
 // lock, so the (slow, immutable-input) decode can run off-lock. Unknown ids
 // report ErrNotFound before any corruption diagnosis.
 func (s *Store) plan(id string) (*Version, []packLink, error) {
-	s.mu.RLock()
-	v, ok := s.versions[id]
-	var chain []packLink
-	var err error
-	if ok {
-		chain, err = s.chainLocked(id)
-	}
-	s.mu.RUnlock()
+	var (
+		v     *Version
+		ok    bool
+		chain []packLink
+		err   error
+	)
+	func() {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		if v, ok = s.versions[id]; ok {
+			chain, err = s.chainLocked(id)
+		}
+	}()
 	if !ok {
 		return nil, nil, fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
@@ -650,7 +684,7 @@ func (s *Store) Lineage(id string) ([]*Version, error) {
 	visited := make(map[string]bool)
 	for id != "" {
 		if visited[id] {
-			return nil, fmt.Errorf("store: lineage cycle at %q", id)
+			return nil, corruptf("lineage cycle at %q", id)
 		}
 		visited[id] = true
 		v, ok := s.versions[id]
@@ -730,18 +764,21 @@ type Stats struct {
 
 // Stats snapshots the store's storage and cache counters.
 func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	st := Stats{Versions: len(s.order)}
-	for _, pi := range s.packs {
-		if pi.Kind == packDelta {
-			st.DeltaPacks++
-		} else {
-			st.FullPacks++
+	var st Stats
+	func() {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		st.Versions = len(s.order)
+		for _, pi := range s.packs {
+			if pi.Kind == packDelta {
+				st.DeltaPacks++
+			} else {
+				st.FullPacks++
+			}
+			st.PackBytes += pi.Size
+			st.LogicalBytes += pi.Logical
 		}
-		st.PackBytes += pi.Size
-		st.LogicalBytes += pi.Logical
-	}
-	s.mu.RUnlock()
+	}()
 	if st.PackBytes > 0 {
 		st.Compression = float64(st.LogicalBytes) / float64(st.PackBytes)
 	} else {

@@ -46,9 +46,7 @@ func (r *VerifyReport) Clean() bool { return len(r.Issues) == 0 }
 // hide a second. Safe to run on a live store: it takes only shared locks.
 func (s *Store) Verify() (*VerifyReport, error) {
 	rep := &VerifyReport{}
-	s.mu.RLock()
-	ids := append([]string(nil), s.order...)
-	s.mu.RUnlock()
+	ids := s.orderSnapshot()
 	rep.Versions = len(ids)
 	for _, id := range ids {
 		if problem := s.verifyVersion(id); problem != "" {
@@ -69,14 +67,19 @@ func (s *Store) Verify() (*VerifyReport, error) {
 // failure ("" = clean). It deliberately bypasses the blob/table caches:
 // verification is about what is durably on disk, not what is resident.
 func (s *Store) verifyVersion(id string) string {
-	s.mu.RLock()
-	v, ok := s.versions[id]
-	var chain []packLink
-	var err error
-	if ok {
-		chain, err = s.chainLocked(id)
-	}
-	s.mu.RUnlock()
+	var (
+		v     *Version
+		ok    bool
+		chain []packLink
+		err   error
+	)
+	func() {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		if v, ok = s.versions[id]; ok {
+			chain, err = s.chainLocked(id)
+		}
+	}()
 	if !ok {
 		return "version vanished from manifest mid-verify"
 	}
@@ -99,6 +102,14 @@ func (s *Store) verifyVersion(id string) string {
 			t.NumRows(), t.NumCols(), v.Rows, v.Cols)
 	}
 	return ""
+}
+
+// orderSnapshot copies the commit order under the shared lock, so slow
+// per-version walks (Verify, Repair) can iterate without holding it.
+func (s *Store) orderSnapshot() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.order...)
 }
 
 // strayFiles lists unreferenced pack files and stale temp files (relative
@@ -171,9 +182,7 @@ const quarantineDirName = "quarantine"
 func (s *Store) Repair() (*RepairReport, error) {
 	rep := &RepairReport{}
 	// Find the damaged versions first (shared locks only, slow part).
-	s.mu.RLock()
-	ids := append([]string(nil), s.order...)
-	s.mu.RUnlock()
+	ids := s.orderSnapshot()
 	bad := map[string]bool{}
 	for _, id := range ids {
 		if problem := s.verifyVersion(id); problem != "" {
