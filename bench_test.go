@@ -11,6 +11,8 @@ package charles
 // cmd/charles-bench.
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"charles/internal/experiments"
@@ -288,5 +290,56 @@ func BenchmarkStoreChain50(b *testing.B) {
 	b.StopTimer()
 	if stats := st.Stats(); stats.Parses != int64(len(snaps)) {
 		b.Fatalf("walks parsed %d times, want exactly %d (first walk only)", stats.Parses, len(snaps))
+	}
+}
+
+// BenchmarkHubCommit16 drives 16 goroutines, each committing a
+// pre-generated 6-step chain into its own fresh dataset of one shared hub:
+// per-shard locking keeps the 16 commit pipelines fully concurrent while
+// every shard's caches charge the one shared memory budget.
+// cmd/charles-bench mirrors it as HubCommit16 in BENCH_baseline.json.
+func BenchmarkHubCommit16(b *testing.B) {
+	const shards = 16
+	chains := make([][]*Table, shards)
+	for g := range chains {
+		snaps, err := ChainDataset(ChainConfig{N: 60, Steps: 6, Seed: int64(g + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		chains[g] = snaps
+	}
+	h, err := OpenHubWith("", HubOptions{MemoryBudget: 64 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		errs := make(chan error, shards)
+		for g := 0; g < shards; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				// A fresh dataset per goroutine per iteration: every commit
+				// is real pack-building work, never a content-address dedup.
+				ds := fmt.Sprintf("d%02d-%d", g, i)
+				parent := ""
+				for _, snap := range chains[g] {
+					v, err := h.Commit("bench", ds, snap, parent, "step")
+					if err != nil {
+						errs <- err
+						return
+					}
+					parent = v.ID
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			b.Fatal(err)
+		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -63,6 +64,7 @@ func writeBaseline(path string) error {
 		{"StoreChain50", benchStoreChain50},
 		{"DiffChain50", benchDiffChain50},
 		{"DiffChain50Align", benchDiffChain50Align},
+		{"HubCommit16", benchHubCommit16},
 	}
 	for _, bench := range benches {
 		fmt.Fprintf(os.Stderr, "measuring %s...\n", bench.name)
@@ -250,6 +252,56 @@ func benchDiffChain50Align(b *testing.B) {
 			if res.UpdateDistance == 0 {
 				b.Fatalf("pair %d: empty diff", j)
 			}
+		}
+	}
+}
+
+// benchHubCommit16 mirrors BenchmarkHubCommit16: 16 goroutines each
+// committing a pre-generated 6-step chain into its own fresh dataset of one
+// shared hub. Per-shard locking keeps the 16 commit pipelines fully
+// concurrent while every shard's caches charge the one shared budget.
+func benchHubCommit16(b *testing.B) {
+	const shards = 16
+	chains := make([][]*charles.Table, shards)
+	for g := range chains {
+		snaps, err := charles.ChainDataset(charles.ChainConfig{N: 60, Steps: 6, Seed: int64(g + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		chains[g] = snaps
+	}
+	h, err := charles.OpenHubWith("", charles.HubOptions{MemoryBudget: 64 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		errs := make(chan error, shards)
+		for g := 0; g < shards; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				// A fresh dataset per goroutine per iteration: every commit
+				// is real pack-building work, never a content-address dedup.
+				ds := fmt.Sprintf("d%02d-%d", g, i)
+				parent := ""
+				for _, snap := range chains[g] {
+					v, err := h.Commit("bench", ds, snap, parent, "step")
+					if err != nil {
+						errs <- err
+						return
+					}
+					parent = v.ID
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			b.Fatal(err)
 		}
 	}
 }

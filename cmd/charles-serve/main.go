@@ -8,6 +8,18 @@
 //	charles-serve [-addr :8344] [-dir .charles-store] [-cache 128]
 //	              [-max-inflight 0] [-timeout 0] [-drain-timeout 15s]
 //	              [-read-timeout 30s] [-idle-timeout 2m]
+//	charles-serve -hub .charles-hub [-default-tenant default] [-default-dataset default]
+//	              [-max-open-stores 32] [-mem-budget 256MiB-in-bytes] [...]
+//
+// Flags are recognized in all four spellings (-dir VALUE, -dir=VALUE,
+// --dir VALUE, --dir=VALUE), anywhere on the command line.
+//
+// With -hub the service fronts a multi-tenant store hub: every endpoint
+// below also exists under /datasets/{tenant}/{dataset}/..., the legacy
+// un-prefixed routes serve the -default-tenant/-default-dataset shard,
+// -max-open-stores soft-caps simultaneously open shards (idle ones close
+// LRU-first), and -mem-budget bounds the total bytes all shards' checkout/
+// blob/change-set/result caches may hold together.
 //
 // Lifecycle: -max-inflight caps concurrently served requests (beyond it,
 // requests are shed immediately with 429 + Retry-After; /healthz and
@@ -16,7 +28,7 @@
 // listener closes, in-flight requests get -drain-timeout to finish, then
 // stragglers are cancelled and cut.
 //
-// Endpoints:
+// Endpoints (each also at /datasets/{tenant}/{dataset}/... in hub mode):
 //
 //	POST /versions            commit a CSV snapshot {csv, key, parent?, message?}
 //	GET  /versions            log, commit order
@@ -25,7 +37,8 @@
 //	GET  /diff?from=&to=      update distance + changed attrs (&target= for cells)
 //	POST /summarize           {from, to, target, alpha?, c?, t?, topk?}
 //	POST /timeline            {head?, target?, alpha?, c?, t?, topk?}
-//	GET  /stats               cache + store + serving counters
+//	GET  /datasets            list tenant/dataset pairs (hub mode)
+//	GET  /stats               cache + store + serving counters (+ hub rollup)
 //	GET  /healthz             liveness
 package main
 
@@ -42,29 +55,69 @@ import (
 	"time"
 
 	charles "charles"
+	"charles/internal/cliflag"
 )
 
 func main() {
-	addr := flag.String("addr", ":8344", "listen address")
-	dir := flag.String("dir", ".charles-store", "store directory (empty = memory only)")
-	cache := flag.Int("cache", 0, "summarize result cache entries (0 = default)")
-	maxInflight := flag.Int("max-inflight", 0, "max concurrently served requests; beyond it requests are shed with 429 (0 = unlimited)")
-	timeout := flag.Duration("timeout", 0, "per-request deadline; expired work returns 503 (0 = none)")
-	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on SIGTERM before they are cancelled")
-	readTimeout := flag.Duration("read-timeout", 30*time.Second, "max time to read a request (headers + body)")
-	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time per connection")
-	flag.Parse()
-
-	st, err := charles.OpenStore(*dir)
+	fs := flag.NewFlagSet("charles-serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8344", "listen address")
+	dir := fs.String("dir", ".charles-store", "store directory (empty = memory only)")
+	hubDir := fs.String("hub", "", "hub root directory (multi-tenant mode; overrides -dir)")
+	defTenant := fs.String("default-tenant", "", "tenant the legacy un-prefixed routes serve (hub mode)")
+	defDataset := fs.String("default-dataset", "", "dataset the legacy un-prefixed routes serve (hub mode)")
+	maxOpen := fs.Int("max-open-stores", 0, "soft cap on simultaneously open shards, idle ones close LRU-first (hub mode, 0 = default)")
+	memBudget := fs.Int64("mem-budget", 0, "total bytes all shards' caches may hold together (hub mode, 0 = unlimited)")
+	cache := fs.Int("cache", 0, "summarize result cache entries (0 = default)")
+	maxInflight := fs.Int("max-inflight", 0, "max concurrently served requests; beyond it requests are shed with 429 (0 = unlimited)")
+	timeout := fs.Duration("timeout", 0, "per-request deadline; expired work returns 503 (0 = none)")
+	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on SIGTERM before they are cancelled")
+	readTimeout := fs.Duration("read-timeout", 30*time.Second, "max time to read a request (headers + body)")
+	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time per connection")
+	sub, rest, err := cliflag.ParseGlobal(fs, os.Args[1:])
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "charles-serve:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	handler := charles.NewServerWith(st, charles.ServeConfig{
+	if sub != "" || len(rest) != 0 {
+		fatal(fmt.Errorf("unexpected argument %q (charles-serve takes only flags)", sub+fmt.Sprint(rest)))
+	}
+
+	cfg := charles.ServeConfig{
 		CacheSize:      *cache,
 		MaxInFlight:    *maxInflight,
 		RequestTimeout: *timeout,
-	})
+		DefaultTenant:  *defTenant,
+		DefaultDataset: *defDataset,
+	}
+	var handler *charles.Server
+	var where string
+	var versions int
+	if *hubDir != "" {
+		h, err := charles.OpenHubWith(*hubDir, charles.HubOptions{
+			MaxOpen:      *maxOpen,
+			MemoryBudget: *memBudget,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		refs, err := h.Datasets()
+		if err != nil {
+			fatal(err)
+		}
+		handler = charles.NewHubServer(h, cfg)
+		where = fmt.Sprintf("hub %s, %d dataset(s)", *hubDir, len(refs))
+	} else {
+		st, err := charles.OpenStore(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		handler = charles.NewServerWith(st, cfg)
+		versions = len(st.Log())
+		where = *dir
+		if where == "" {
+			where = "(memory only)"
+		}
+		where = fmt.Sprintf("store %s, %d versions", where, versions)
+	}
 
 	// WriteTimeout must outlast the request deadline, or the connection is
 	// cut before the handler can even write its 503.
@@ -82,20 +135,19 @@ func main() {
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "charles-serve:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	where := *dir
-	if where == "" {
-		where = "(memory only)"
-	}
-	log.Printf("charles-serve: store %s, %d versions, listening on %s", where, len(st.Log()), ln.Addr())
+	log.Printf("charles-serve: %s, listening on %s", where, ln.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := charles.RunServer(ctx, srv, ln, *drainTimeout); err != nil {
-		fmt.Fprintln(os.Stderr, "charles-serve:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	log.Printf("charles-serve: drained cleanly")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "charles-serve:", err)
+	os.Exit(1)
 }

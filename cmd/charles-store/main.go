@@ -1,4 +1,4 @@
-// Command charles-store manages a snapshot version store and summarizes
+// Command charles-store manages snapshot version stores and summarizes
 // changes between stored versions — the ChARLES engine bolted onto an
 // OrpheusDB-style lineage.
 //
@@ -16,6 +16,20 @@
 //	charles-store -dir .charles verify
 //	charles-store -dir .charles repair
 //
+// Multi-tenant mode: -hub HUBDIR addresses one shard of a store hub
+// instead of a standalone store; -tenant/-dataset pick the shard (both
+// default to "default", so a hub opened on a fresh directory behaves like
+// a single store). Every subcommand above works per-shard, plus:
+//
+//	charles-store -hub .charles-hub datasets              list tenant/dataset pairs
+//	charles-store -hub .charles-hub -tenant acme -dataset payroll log
+//	charles-store -hub .charles-hub -all-datasets verify  sweep every shard
+//	charles-store -hub .charles-hub -all-datasets gc
+//	charles-store -hub .charles-hub -all-datasets repair
+//
+// Global flags are recognized anywhere on the command line, in all four
+// spellings (-dir VALUE, -dir=VALUE, --dir VALUE, --dir=VALUE).
+//
 // Versions are stored as delta-encoded pack files (full anchors every few
 // commits); changes prints a version's decoded delta ops straight from its
 // pack, and diff serves change queries from the delta ops whenever the two
@@ -29,49 +43,79 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	charles "charles"
+	"charles/internal/cliflag"
 )
 
 func main() {
 	if len(os.Args) < 2 {
 		usage()
 	}
-	// Global flags may precede the subcommand.
 	fs := flag.NewFlagSet("charles-store", flag.ExitOnError)
-	dir := fs.String("dir", ".charles-store", "store directory")
-	// Find the subcommand: first non-flag argument. The global -dir flag is
-	// accepted in both spellings (-dir VALUE and -dir=VALUE, with one or two
-	// dashes) and may appear before or after the subcommand.
-	args := os.Args[1:]
-	var sub string
-	var rest []string
-	for i := 0; i < len(args); i++ {
-		name := strings.TrimPrefix(strings.TrimPrefix(args[i], "-"), "-")
-		switch {
-		case strings.HasPrefix(args[i], "-") && name == "dir" && i+1 < len(args):
-			if err := fs.Parse(args[i : i+2]); err != nil {
-				fatal(err)
-			}
-			i++
-		case strings.HasPrefix(args[i], "-") && strings.HasPrefix(name, "dir="):
-			if err := fs.Parse(args[i : i+1]); err != nil {
-				fatal(err)
-			}
-		case sub == "":
-			sub = args[i]
-		default:
-			rest = append(rest, args[i])
-		}
+	dir := fs.String("dir", ".charles-store", "store directory (single-store mode)")
+	hubDir := fs.String("hub", "", "hub root directory (multi-tenant mode; overrides -dir)")
+	tenant := fs.String("tenant", "default", "tenant to address (with -hub)")
+	dataset := fs.String("dataset", "default", "dataset to address (with -hub)")
+	allDatasets := fs.Bool("all-datasets", false, "with -hub: make verify/gc/repair sweep every dataset")
+	sub, rest, err := cliflag.ParseGlobal(fs, os.Args[1:])
+	if err != nil {
+		fatal(err)
 	}
 	if sub == "" {
 		usage()
+	}
+	if *hubDir != "" {
+		runHub(*hubDir, *tenant, *dataset, *allDatasets, sub, rest)
+		return
+	}
+	if sub == "datasets" || *allDatasets {
+		fatal(fmt.Errorf("%s needs -hub HUBDIR", sub))
 	}
 	st, err := charles.OpenStore(*dir)
 	if err != nil {
 		fatal(err)
 	}
+	dispatch(st, sub, rest)
+}
+
+// runHub executes sub against one shard of a hub — or, for datasets and
+// the -all-datasets sweeps, against the hub as a whole.
+func runHub(hubDir, tenant, dataset string, all bool, sub string, rest []string) {
+	h, err := charles.OpenHub(hubDir)
+	if err != nil {
+		fatal(err)
+	}
+	defer h.Close()
+	switch {
+	case sub == "datasets":
+		cmdDatasets(h)
+		return
+	case all && sub == "verify":
+		cmdVerifyAll(h)
+		return
+	case all && sub == "gc":
+		cmdGCAll(h)
+		return
+	case all && sub == "repair":
+		cmdRepairAll(h)
+		return
+	case all:
+		fatal(fmt.Errorf("-all-datasets only applies to verify, gc and repair, not %q", sub))
+	}
+	st, release, err := h.Acquire(tenant, dataset)
+	if err != nil {
+		fatal(err)
+	}
+	defer release()
+	dispatch(st, sub, rest)
+}
+
+// dispatch runs one subcommand against one store — standalone or a hub
+// shard, the commands don't care.
+func dispatch(st *charles.VersionStore, sub string, rest []string) {
 	switch sub {
 	case "commit":
 		cmdCommit(st, rest)
@@ -98,6 +142,86 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "charles-store: unknown subcommand %q\n", sub)
 		usage()
+	}
+}
+
+// cmdDatasets lists every tenant/dataset pair the hub knows about — open
+// shards and on-disk ones alike.
+func cmdDatasets(h *charles.StoreHub) {
+	refs, err := h.Datasets()
+	if err != nil {
+		fatal(err)
+	}
+	for _, ref := range refs {
+		fmt.Printf("%s/%s\n", ref.Tenant, ref.Dataset)
+	}
+}
+
+// sweepKeys orders a sweep's per-shard reports for stable output.
+func sweepKeys[R any](reps map[string]R) []string {
+	keys := make([]string, 0, len(reps))
+	for k := range reps {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// cmdVerifyAll fscks every shard of the hub and exits 1 when any fails,
+// so scripts and CI can gate on a fully clean hub.
+func cmdVerifyAll(h *charles.StoreHub) {
+	reps, err := h.VerifyAll()
+	bad := 0
+	for _, key := range sweepKeys(reps) {
+		rep := reps[key]
+		fmt.Printf("%s: verified %d/%d version(s)\n", key, rep.Verified, rep.Versions)
+		for _, s := range rep.StrayFiles {
+			fmt.Printf("%s: stray %s\n", key, s)
+		}
+		for _, iss := range rep.Issues {
+			fmt.Fprintf(os.Stderr, "%s: corrupt %s: %s\n", key, iss.Version, iss.Problem)
+			bad++
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "charles-store: %d version(s) failed verification; run repair to quarantine them\n", bad)
+		os.Exit(1)
+	}
+}
+
+// cmdGCAll reclaims legacy CSVs, orphaned packs and stale temp files in
+// every shard.
+func cmdGCAll(h *charles.StoreHub) {
+	reps, err := h.GCAll()
+	for _, key := range sweepKeys(reps) {
+		rep := reps[key]
+		fmt.Printf("%s: removed %d legacy CSV file(s), %d orphaned pack(s), %d stale temp file(s); reclaimed %d bytes\n",
+			key, rep.LegacyFiles, rep.OrphanPacks, rep.TempFiles, rep.BytesReclaimed)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// cmdRepairAll quarantines unverifiable data in every shard. Quarantine
+// directories stay inside their own shard — a sweep never moves files
+// across shards.
+func cmdRepairAll(h *charles.StoreHub) {
+	reps, err := h.RepairAll()
+	for _, key := range sweepKeys(reps) {
+		rep := reps[key]
+		if len(rep.Dropped) == 0 && len(rep.Quarantined) == 0 {
+			fmt.Printf("%s: healthy\n", key)
+			continue
+		}
+		fmt.Printf("%s: dropped %d version(s), quarantined %d file(s) into %s\n",
+			key, len(rep.Dropped), len(rep.Quarantined), rep.QuarantineDir)
+	}
+	if err != nil {
+		fatal(err)
 	}
 }
 
@@ -393,7 +517,9 @@ func mustParse(fs *flag.FlagSet, args []string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: charles-store [-dir DIR] {commit|log|checkout|changes|diff|summarize|timeline|stats|gc|verify|repair} [flags]")
+	fmt.Fprintln(os.Stderr, `usage: charles-store [-dir DIR | -hub HUBDIR [-tenant T] [-dataset D]] SUBCOMMAND [flags]
+  subcommands: commit log checkout changes diff summarize timeline stats gc verify repair
+  hub only:    datasets; -all-datasets makes verify/gc/repair sweep every shard`)
 	os.Exit(2)
 }
 

@@ -7,5 +7,5 @@ import (
 )
 
 func TestAnalyzer(t *testing.T) {
-	analysistest.Run(t, ".", Analyzer, "internal/serve")
+	analysistest.Run(t, ".", Analyzer, "internal/serve", "internal/store")
 }

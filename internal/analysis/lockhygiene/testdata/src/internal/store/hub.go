@@ -1,0 +1,77 @@
+// Fixture for lockhygiene: hub-shaped code — a refcounted shard map behind
+// one mutex, with the closure-scoped locking idiom the real hub uses so
+// eviction callbacks and store closes can run off-lock.
+package store
+
+import "sync"
+
+type shard struct {
+	refs int
+}
+
+type hub struct {
+	mu     sync.Mutex
+	shards map[string]*shard
+	order  []string
+
+	maxOpen int // separate group: immutable after construction
+}
+
+// Good: the canonical scoped lock.
+func (h *hub) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.shards)
+}
+
+// Good: the closure-scoped idiom — lock held only for the map touch, the
+// expensive close happens after the closure returns.
+func (h *hub) Drop(key string) {
+	var victim *shard
+	func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		victim = h.shards[key]
+		delete(h.shards, key)
+	}()
+	_ = victim
+}
+
+// Bad: manual unlock around the refcount bump leaks the lock on any early
+// return added later.
+func (h *hub) Acquire(key string) *shard {
+	h.mu.Lock() // want `h\.mu\.Lock\(\) is not immediately followed by defer h\.mu\.Unlock\(\)`
+	sh := h.shards[key]
+	sh.refs++
+	h.mu.Unlock()
+	return sh
+}
+
+// Bad: exported method walks the guarded shard map with no lock in sight.
+func (h *hub) Keys() []string {
+	return h.order // want `exported method Keys touches mu-guarded field h\.order without locking h\.mu`
+}
+
+// Good: the unguarded group is free to read bare.
+func (h *hub) MaxOpen() int {
+	return h.maxOpen
+}
+
+// Documented manual section: the singleflight open must unlock before
+// blocking on the ready channel, so it carries the directive.
+func (h *hub) swap(key string, sh *shard) *shard {
+	h.mu.Lock() //lint:allow lockhygiene must unlock before blocking on the shard's ready channel
+	old := h.shards[key]
+	h.shards[key] = sh
+	h.mu.Unlock()
+	return old
+}
+
+// Good: unexported helpers are the callee side of the Locked convention.
+func (h *hub) evictIdleLocked() {
+	for key, sh := range h.shards {
+		if sh.refs == 0 {
+			delete(h.shards, key)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Package cliflag normalizes command-line parsing for the charles
+// binaries. The standard flag package stops at the first non-flag
+// argument, which breaks the `tool -global sub -local` shape, and the
+// binaries historically diverged: charles-store hand-rolled a loop that
+// only understood -dir, while charles-serve accepted flags only in strict
+// flag-package order. ParseGlobal is the one shared helper: every flag
+// registered on the global FlagSet is recognized anywhere on the command
+// line, in all four spellings (-name VALUE, -name=VALUE, --name VALUE,
+// --name=VALUE); the first bare argument is the subcommand and everything
+// else passes through for the subcommand's own FlagSet.
+package cliflag
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+)
+
+// boolFlag is the flag package's convention for flags that may omit their
+// value (flag.Value implementations report it via IsBoolFlag).
+type boolFlag interface {
+	IsBoolFlag() bool
+}
+
+// ParseGlobal scans args for flags registered on fs — wherever they appear
+// — parses them into fs, and returns the subcommand (the first bare
+// argument, "" if none) plus the remaining arguments in order. Unregistered
+// flags are NOT errors here: they stay in rest for the subcommand's
+// FlagSet, which reports its own unknowns.
+func ParseGlobal(fs *flag.FlagSet, args []string) (sub string, rest []string, err error) {
+	var globals []string
+	for i := 0; i < len(args); i++ {
+		arg := args[i]
+		if len(arg) > 1 && arg[0] == '-' && arg != "--" {
+			name := strings.TrimPrefix(strings.TrimPrefix(arg, "-"), "-")
+			base, _, hasValue := strings.Cut(name, "=")
+			if f := fs.Lookup(base); f != nil {
+				switch {
+				case hasValue:
+					globals = append(globals, "-"+name)
+				case isBoolValue(f.Value):
+					globals = append(globals, "-"+base)
+				case i+1 < len(args):
+					globals = append(globals, "-"+base, args[i+1])
+					i++
+				default:
+					return "", nil, fmt.Errorf("flag -%s needs a value", base)
+				}
+				continue
+			}
+		}
+		if sub == "" && !strings.HasPrefix(arg, "-") {
+			sub = arg
+			continue
+		}
+		rest = append(rest, arg)
+	}
+	if err := fs.Parse(globals); err != nil {
+		return "", nil, err
+	}
+	return sub, rest, nil
+}
+
+func isBoolValue(v flag.Value) bool {
+	b, ok := v.(boolFlag)
+	return ok && b.IsBoolFlag()
+}

@@ -1,0 +1,85 @@
+package cliflag
+
+import (
+	"flag"
+	"reflect"
+	"testing"
+)
+
+func newFS() (*flag.FlagSet, *string, *bool) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	dir := fs.String("dir", ".default", "")
+	verbose := fs.Bool("v", false, "")
+	return fs, dir, verbose
+}
+
+func TestParseGlobalSpellings(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"space", []string{"-dir", "X", "commit"}},
+		{"equals", []string{"-dir=X", "commit"}},
+		{"double-dash space", []string{"--dir", "X", "commit"}},
+		{"double-dash equals", []string{"--dir=X", "commit"}},
+		{"after subcommand", []string{"commit", "-dir", "X"}},
+		{"after subcommand equals", []string{"commit", "--dir=X"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs, dir, _ := newFS()
+			sub, rest, err := ParseGlobal(fs, tc.args)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sub != "commit" || *dir != "X" || len(rest) != 0 {
+				t.Errorf("sub=%q dir=%q rest=%v", sub, *dir, rest)
+			}
+		})
+	}
+}
+
+func TestParseGlobalLeavesSubcommandFlags(t *testing.T) {
+	fs, dir, verbose := newFS()
+	sub, rest, err := ParseGlobal(fs, []string{"-v", "commit", "-csv", "x.csv", "-dir", "D", "-m", "hello"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub != "commit" || *dir != "D" || !*verbose {
+		t.Errorf("sub=%q dir=%q v=%v", sub, *dir, *verbose)
+	}
+	// -csv and -m are not global flags: they pass through untouched, in
+	// order, for the subcommand's FlagSet.
+	if want := []string{"-csv", "x.csv", "-m", "hello"}; !reflect.DeepEqual(rest, want) {
+		t.Errorf("rest = %v, want %v", rest, want)
+	}
+}
+
+func TestParseGlobalBoolFlagTakesNoValue(t *testing.T) {
+	fs, _, verbose := newFS()
+	sub, rest, err := ParseGlobal(fs, []string{"-v", "log"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !*verbose || sub != "log" || len(rest) != 0 {
+		t.Errorf("v=%v sub=%q rest=%v — bool flag must not swallow the subcommand", *verbose, sub, rest)
+	}
+}
+
+func TestParseGlobalMissingValue(t *testing.T) {
+	fs, _, _ := newFS()
+	if _, _, err := ParseGlobal(fs, []string{"log", "-dir"}); err == nil {
+		t.Error("trailing valueless -dir parsed without error")
+	}
+}
+
+func TestParseGlobalNoSubcommand(t *testing.T) {
+	fs, dir, _ := newFS()
+	sub, rest, err := ParseGlobal(fs, []string{"--dir=only-flags"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub != "" || len(rest) != 0 || *dir != "only-flags" {
+		t.Errorf("sub=%q rest=%v dir=%q", sub, rest, *dir)
+	}
+}

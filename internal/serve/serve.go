@@ -1,25 +1,35 @@
-// Package serve exposes a version store and the ChARLES summarization
+// Package serve exposes version stores and the ChARLES summarization
 // engine as a long-lived HTTP/JSON service — the "bolt-on versioning meets
 // queryable change history" layer: versions go in, ranked change summaries
 // come out, and repeated questions are answered from an LRU cache with
 // singleflight deduplication (N identical in-flight requests run the
 // engine once).
 //
-// Endpoints:
+// A server fronts either one Store (NewServer) or a multi-tenant Hub
+// (NewHubServer). Every data endpoint exists in two spellings:
 //
-//	POST /versions               commit a CSV snapshot {csv, key, parent?, message?}
-//	GET  /versions               log, commit order
-//	GET  /versions/{id}          version metadata
-//	GET  /versions/{id}/csv      checkout the canonical CSV
-//	GET  /versions/{id}/changes  the version's decoded delta ops (ChangeSet)
-//	GET  /diff?from=&to=         removed/inserted keys, update distance, changed
-//	                             attrs (&target= for cells) — served straight
-//	                             from pack deltas when the pair is
-//	                             delta-connected, checkout+align otherwise
-//	POST /summarize              {from, to, target, alpha?, c?, t?, topk?}
-//	POST /timeline               {head?, target?, alpha?, c?, t?, topk?} — walk
-//	                             the lineage root→head and summarize every step
-//	GET  /stats                  cache hit/miss/execution counters
+//	/datasets/{tenant}/{ds}/<route>   addresses one hub shard
+//	/<route>                          legacy alias for the default dataset
+//
+// Endpoints (per dataset):
+//
+//	POST .../versions               commit a CSV snapshot {csv, key, parent?, message?}
+//	GET  .../versions               log, commit order
+//	GET  .../versions/{id}          version metadata
+//	GET  .../versions/{id}/csv      checkout the canonical CSV
+//	GET  .../versions/{id}/changes  the version's decoded delta ops (ChangeSet)
+//	GET  .../diff?from=&to=         removed/inserted keys, update distance, changed
+//	                                attrs (&target= for cells) — served straight
+//	                                from pack deltas when the pair is
+//	                                delta-connected, checkout+align otherwise
+//	POST .../summarize              {from, to, target, alpha?, c?, t?, topk?}
+//	POST .../timeline               {head?, target?, alpha?, c?, t?, topk?} — walk
+//	                                the lineage root→head and summarize every step
+//
+// And hub-wide:
+//
+//	GET  /datasets               list tenant/dataset pairs
+//	GET  /stats                  cache, store, hub, and per-shard serving counters
 //	GET  /healthz                liveness
 //
 // Wrong-method requests are answered uniformly on every route: 405 with an
@@ -35,6 +45,7 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -46,6 +57,10 @@ import (
 // DefaultCacheSize is the summarize-result LRU capacity when NewServer is
 // given a non-positive size.
 const DefaultCacheSize = 128
+
+// DefaultDatasetName is the tenant and dataset name legacy (un-prefixed)
+// routes address when the config does not override it.
+const DefaultDatasetName = "default"
 
 // maxBodyBytes bounds request bodies (CSV snapshots included).
 const maxBodyBytes = 64 << 20
@@ -68,17 +83,27 @@ type Config struct {
 	// RetryAfter is the advisory Retry-After duration on shed responses
 	// (rounded up to whole seconds; 0 = 1s).
 	RetryAfter time.Duration
+	// DefaultTenant and DefaultDataset name the shard the legacy
+	// (un-prefixed) routes address in hub mode; both default to "default".
+	// A single-store server also answers /datasets routes under these
+	// names.
+	DefaultTenant  string
+	DefaultDataset string
 }
 
-// Server is the HTTP front end over one shared Store. The store is safe
-// for concurrent use and the engine runs outside the store's lock, so any
-// number of requests proceed in parallel; identical summarize requests are
-// collapsed by the cache.
+// Server is the HTTP front end over one Store or a Hub of them. Stores are
+// safe for concurrent use and the engine runs outside the store's lock, so
+// any number of requests proceed in parallel; identical summarize requests
+// are collapsed by the cache (keyed per shard).
 type Server struct {
-	store *store.Store
+	store *store.Store // single-store mode (nil in hub mode)
+	hub   *store.Hub   // hub mode (nil in single-store mode)
 	cache *resultCache
 	mux   *http.ServeMux
 	cfg   Config
+
+	defTenant  string
+	defDataset string
 
 	slots    chan struct{} // nil = unlimited
 	inflight atomic.Int64
@@ -88,6 +113,33 @@ type Server struct {
 	// limiter slot is held, stepHook inside each timeline step computation.
 	testDelay func(*http.Request)
 	stepHook  func()
+
+	mu       sync.Mutex
+	perShard map[string]*shardCounters // tenant/ds -> serving counters
+}
+
+// shardCounters is one shard's serve-layer request accounting. The struct
+// is fetched under Server.mu but bumped atomically, so the request hot path
+// holds the lock only for a map lookup.
+type shardCounters struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+}
+
+// shardRef is one request's resolved shard: the store to serve from, the
+// names that key its cache entries and counters, and the release that
+// unpins it from the hub (a no-op in single-store mode).
+type shardRef struct {
+	tenant  string
+	dataset string
+	st      *store.Store
+	release func()
+}
+
+// cacheKeyPrefix namespaces result-cache keys per shard, so two datasets'
+// identical version ids can never collide in the shared LRU.
+func (sh *shardRef) cacheKeyPrefix() string {
+	return sh.tenant + "/" + sh.dataset + "|"
 }
 
 // NewServer wraps st in an HTTP handler with a result cache of cacheSize
@@ -99,33 +151,75 @@ func NewServer(st *store.Store, cacheSize int) *Server {
 
 // NewServerWith wraps st in an HTTP handler with the full serving config.
 func NewServerWith(st *store.Store, cfg Config) *Server {
+	return newServer(st, nil, cfg)
+}
+
+// NewHubServer serves a multi-tenant Hub: every dataset is addressable
+// under /datasets/{tenant}/{ds}/..., the legacy routes alias the default
+// dataset, and GET /stats rolls up per-shard serving and store counters
+// plus the hub's shared memory budget.
+func NewHubServer(h *store.Hub, cfg Config) *Server {
+	return newServer(nil, h, cfg)
+}
+
+func newServer(st *store.Store, h *store.Hub, cfg Config) *Server {
 	if cfg.CacheSize <= 0 {
 		cfg.CacheSize = DefaultCacheSize
 	}
-	s := &Server{store: st, cache: newResultCache(cfg.CacheSize), cfg: cfg}
+	if cfg.DefaultTenant == "" {
+		cfg.DefaultTenant = DefaultDatasetName
+	}
+	if cfg.DefaultDataset == "" {
+		cfg.DefaultDataset = DefaultDatasetName
+	}
+	s := &Server{
+		store: st, hub: h,
+		cache:     newResultCache(cfg.CacheSize),
+		cfg:       cfg,
+		defTenant: cfg.DefaultTenant, defDataset: cfg.DefaultDataset,
+		perShard: map[string]*shardCounters{},
+	}
 	if cfg.MaxInFlight > 0 {
 		s.slots = make(chan struct{}, cfg.MaxInFlight)
 	}
 	mux := http.NewServeMux()
-	routes := []struct {
+	// Each dataset route is registered twice: under the explicit
+	// /datasets/{tenant}/{ds} prefix and at the legacy root (which aliases
+	// the default dataset). commit=true routes may create the shard;
+	// read routes must 404 on unknown datasets instead.
+	shardRoutes := []struct {
+		method, pattern string
+		commit          bool
+		h               func(*shardRef, http.ResponseWriter, *http.Request)
+	}{
+		{"POST", "/versions", true, s.handleCommit},
+		{"GET", "/versions", false, s.handleLog},
+		{"GET", "/versions/{id}", false, s.handleVersion},
+		{"GET", "/versions/{id}/csv", false, s.handleCheckout},
+		{"GET", "/versions/{id}/changes", false, s.handleChanges},
+		{"GET", "/diff", false, s.handleDiff},
+		{"POST", "/summarize", true, s.handleSummarize},
+		{"POST", "/timeline", true, s.handleTimeline},
+	}
+	allowed := map[string][]string{}
+	for _, r := range shardRoutes {
+		wrapped := s.onShard(r.commit, r.h)
+		for _, pattern := range []string{r.pattern, "/datasets/{tenant}/{ds}" + r.pattern} {
+			mux.HandleFunc(r.method+" "+pattern, wrapped)
+			allowed[pattern] = append(allowed[pattern], r.method)
+		}
+	}
+	plainRoutes := []struct {
 		method, pattern string
 		h               http.HandlerFunc
 	}{
-		{"POST", "/versions", s.handleCommit},
-		{"GET", "/versions", s.handleLog},
-		{"GET", "/versions/{id}", s.handleVersion},
-		{"GET", "/versions/{id}/csv", s.handleCheckout},
-		{"GET", "/versions/{id}/changes", s.handleChanges},
-		{"GET", "/diff", s.handleDiff},
-		{"POST", "/summarize", s.handleSummarize},
-		{"POST", "/timeline", s.handleTimeline},
+		{"GET", "/datasets", s.handleDatasets},
 		{"GET", "/stats", s.handleStats},
 		{"GET", "/healthz", func(w http.ResponseWriter, _ *http.Request) {
 			writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 		}},
 	}
-	allowed := map[string][]string{}
-	for _, r := range routes {
+	for _, r := range plainRoutes {
 		mux.HandleFunc(r.method+" "+r.pattern, r.h)
 		allowed[r.pattern] = append(allowed[r.pattern], r.method)
 	}
@@ -145,6 +239,68 @@ func NewServerWith(st *store.Store, cfg Config) *Server {
 	}
 	s.mux = mux
 	return s
+}
+
+// resolve maps a request onto its shard: the {tenant}/{ds} path values
+// when present, the configured default dataset on legacy routes. In hub
+// mode the shard is acquired (pinned) for the duration of the request; on
+// read routes an unknown dataset is a 404, never a freshly created
+// directory.
+func (s *Server) resolve(r *http.Request, commit bool) (*shardRef, error) {
+	tenant, dataset := r.PathValue("tenant"), r.PathValue("ds")
+	if tenant == "" && dataset == "" {
+		tenant, dataset = s.defTenant, s.defDataset
+	}
+	if s.hub == nil {
+		if tenant != s.defTenant || dataset != s.defDataset {
+			return nil, fmt.Errorf("%w: %s/%s (single-dataset server)", store.ErrUnknownDataset, tenant, dataset)
+		}
+		return &shardRef{tenant: tenant, dataset: dataset, st: s.store, release: func() {}}, nil
+	}
+	var (
+		st      *store.Store
+		release func()
+		err     error
+	)
+	if commit {
+		st, release, err = s.hub.Acquire(tenant, dataset)
+	} else {
+		st, release, err = s.hub.AcquireExisting(tenant, dataset)
+		if err == nil {
+			s.hub.MarkRead(tenant, dataset)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &shardRef{tenant: tenant, dataset: dataset, st: st, release: release}, nil
+}
+
+// counters returns (creating on first use) one shard's serve counters.
+func (s *Server) counters(key string) *shardCounters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.perShard[key]
+	if !ok {
+		c = &shardCounters{}
+		s.perShard[key] = c
+	}
+	return c
+}
+
+// onShard adapts a shard handler into an http.HandlerFunc: resolve the
+// shard, pin it for the request, count the request against it.
+func (s *Server) onShard(commit bool, h func(*shardRef, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sh, err := s.resolve(r, commit)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		defer sh.release()
+		s.counters(sh.tenant + "/" + sh.dataset).requests.Add(1)
+		h(sh, w, r)
+	}
 }
 
 // ServeHTTP implements http.Handler: body bounding, load shedding, and the
@@ -193,22 +349,40 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // Stats snapshots the summarize cache counters.
 func (s *Server) Stats() Stats { return s.cache.Stats() }
 
-// ServingStats is a snapshot of the lifecycle counters: the concurrency
-// cap (0 = unlimited), the requests currently holding a slot, and the
-// total shed with 429 since startup.
-type ServingStats struct {
-	MaxInFlight int   `json:"maxInFlight"`
-	InFlight    int64 `json:"inFlight"`
-	Shed        int64 `json:"shed"`
+// ShardServingStats is one shard's serve-layer request counters.
+type ShardServingStats struct {
+	Requests int64 `json:"requests"`
 }
 
-// ServingStats snapshots the load-shedding counters.
+// ServingStats is a snapshot of the lifecycle counters: the concurrency
+// cap (0 = unlimited), the requests currently holding a slot, the total
+// shed with 429 since startup, and the per-shard request counts.
+type ServingStats struct {
+	MaxInFlight int                          `json:"maxInFlight"`
+	InFlight    int64                        `json:"inFlight"`
+	Shed        int64                        `json:"shed"`
+	Shards      map[string]ShardServingStats `json:"shards,omitempty"`
+}
+
+// ServingStats snapshots the load-shedding and per-shard counters.
 func (s *Server) ServingStats() ServingStats {
-	return ServingStats{
+	st := ServingStats{
 		MaxInFlight: s.cfg.MaxInFlight,
 		InFlight:    s.inflight.Load(),
 		Shed:        s.shed.Load(),
 	}
+	func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if len(s.perShard) == 0 {
+			return
+		}
+		st.Shards = make(map[string]ShardServingStats, len(s.perShard))
+		for key, c := range s.perShard {
+			st.Shards[key] = ShardServingStats{Requests: c.requests.Load()}
+		}
+	}()
+	return st
 }
 
 // errorJSON is the uniform error envelope.
@@ -230,11 +404,13 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 const statusClientClosedRequest = 499
 
 // writeError maps store/engine errors onto HTTP status codes: unknown ids
-// are 404, lineage conflicts 409, an expired request deadline 503 (the
-// server gave up under its own timeout — retryable), a client cancellation
-// 499, server-side damage — corrupt stored data, IO failures (persist
-// hitting a full or broken disk) — 500, and everything else — malformed
-// bodies, CSV parse errors, engine option validation — 400.
+// and datasets are 404, lineage conflicts 409, an expired request deadline
+// 503 (the server gave up under its own timeout — retryable), a shard or
+// hub closed mid-request 503 (the hub evicted or is shutting down —
+// retryable), a client cancellation 499, server-side damage — corrupt
+// stored data, IO failures (persist hitting a full or broken disk) — 500,
+// and everything else — malformed bodies, invalid names, CSV parse errors,
+// engine option validation — 400.
 func writeError(w http.ResponseWriter, err error) {
 	var pathErr *fs.PathError
 	code := http.StatusBadRequest
@@ -243,10 +419,12 @@ func writeError(w http.ResponseWriter, err error) {
 		code = http.StatusServiceUnavailable
 	case errors.Is(err, context.Canceled):
 		code = statusClientClosedRequest
-	case errors.Is(err, store.ErrNotFound):
+	case errors.Is(err, store.ErrNotFound), errors.Is(err, store.ErrUnknownDataset):
 		code = http.StatusNotFound
 	case errors.Is(err, store.ErrLineageConflict):
 		code = http.StatusConflict
+	case errors.Is(err, store.ErrStoreClosed), errors.Is(err, store.ErrHubClosed):
+		code = http.StatusServiceUnavailable
 	case errors.Is(err, store.ErrCorruptStore), errors.As(err, &pathErr):
 		code = http.StatusInternalServerError
 	}
@@ -262,7 +440,7 @@ func decodeJSON(r *http.Request, v any) error {
 	return nil
 }
 
-// commitRequest is the POST /versions body.
+// commitRequest is the POST .../versions body.
 type commitRequest struct {
 	CSV     string   `json:"csv"`
 	Key     []string `json:"key"`
@@ -270,7 +448,7 @@ type commitRequest struct {
 	Message string   `json:"message,omitempty"`
 }
 
-func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleCommit(sh *shardRef, w http.ResponseWriter, r *http.Request) {
 	var req commitRequest
 	if err := decodeJSON(r, &req); err != nil {
 		writeError(w, err)
@@ -285,36 +463,39 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	v, err := s.store.Commit(t, req.Parent, req.Message)
+	v, err := sh.st.Commit(t, req.Parent, req.Message)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	if s.hub != nil {
+		s.hub.MarkCommit(sh.tenant, sh.dataset)
+	}
 	writeJSON(w, http.StatusOK, v)
 }
 
-func (s *Server) handleLog(w http.ResponseWriter, _ *http.Request) {
-	log := s.store.Log()
+func (s *Server) handleLog(sh *shardRef, w http.ResponseWriter, _ *http.Request) {
+	log := sh.st.Log()
 	if log == nil {
 		log = []*store.Version{}
 	}
 	writeJSON(w, http.StatusOK, log)
 }
 
-// versionResponse is the GET /versions/{id} body: metadata plus lineage.
+// versionResponse is the GET .../versions/{id} body: metadata plus lineage.
 type versionResponse struct {
 	*store.Version
 	Lineage []string `json:"lineage"` // ids, newest first, self included
 }
 
-func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleVersion(sh *shardRef, w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	v, err := s.store.Get(id)
+	v, err := sh.st.Get(id)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	lineage, err := s.store.Lineage(id)
+	lineage, err := sh.st.Lineage(id)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -326,8 +507,8 @@ func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, versionResponse{Version: v, Lineage: ids})
 }
 
-func (s *Server) handleCheckout(w http.ResponseWriter, r *http.Request) {
-	blob, err := s.store.Blob(r.PathValue("id"))
+func (s *Server) handleCheckout(sh *shardRef, w http.ResponseWriter, r *http.Request) {
+	blob, err := sh.st.Blob(r.PathValue("id"))
 	if err != nil {
 		writeError(w, err)
 		return
@@ -336,7 +517,7 @@ func (s *Server) handleCheckout(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(blob)
 }
 
-// diffResponse is the GET /diff body. DeltaNative reports whether the
+// diffResponse is the GET .../diff body. DeltaNative reports whether the
 // answer was assembled straight from the store's delta packs (one parent
 // checkout, no target reconstruction or alignment) or through the
 // checkout+align fallback — the two paths return identical answers.
@@ -358,13 +539,13 @@ type changeJSON struct {
 	New  string `json:"new"`
 }
 
-func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleDiff(sh *shardRef, w http.ResponseWriter, r *http.Request) {
 	from, to := r.URL.Query().Get("from"), r.URL.Query().Get("to")
 	if from == "" || to == "" {
 		writeError(w, errors.New("diff needs from and to"))
 		return
 	}
-	res, native, err := s.store.DiffResult(from, to, timelineTol)
+	res, native, err := sh.st.DiffResult(from, to, timelineTol)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -392,7 +573,7 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// changesResponse is the GET /versions/{id}/changes body: the version's
+// changesResponse is the GET .../versions/{id}/changes body: the version's
 // decoded delta ops, with patch and insert cells keyed by column name.
 type changesResponse struct {
 	Version      string          `json:"version"`
@@ -409,9 +590,9 @@ type rowChangeJSON struct {
 	Cells map[string]string `json:"cells"`
 }
 
-func (s *Server) handleChanges(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleChanges(sh *shardRef, w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	cs, err := s.store.Changes(id)
+	cs, err := sh.st.Changes(id)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -455,8 +636,8 @@ func (s *Server) handleChanges(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// summarizeRequest is the POST /summarize body. Omitted tuning fields take
-// the engine defaults (c=3, t=2, α=0.5, top-10).
+// summarizeRequest is the POST .../summarize body. Omitted tuning fields
+// take the engine defaults (c=3, t=2, α=0.5, top-10).
 type summarizeRequest struct {
 	From   string   `json:"from"`
 	To     string   `json:"to"`
@@ -467,7 +648,7 @@ type summarizeRequest struct {
 	TopK   *int     `json:"topk,omitempty"`
 }
 
-// summarizeResponse is the POST /summarize body.
+// summarizeResponse is the POST .../summarize body.
 type summarizeResponse struct {
 	From               string       `json:"from"`
 	To                 string       `json:"to"`
@@ -477,7 +658,7 @@ type summarizeResponse struct {
 	Ranked             []RankedJSON `json:"ranked"`
 }
 
-func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSummarize(sh *shardRef, w http.ResponseWriter, r *http.Request) {
 	var req summarizeRequest
 	if err := decodeJSON(r, &req); err != nil {
 		writeError(w, err)
@@ -489,11 +670,11 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 	}
 	// Resolve ids up front so unknown versions 404 before touching the
 	// cache (and so invalid requests never occupy a singleflight slot).
-	if _, err := s.store.Get(req.From); err != nil {
+	if _, err := sh.st.Get(req.From); err != nil {
 		writeError(w, err)
 		return
 	}
-	if _, err := s.store.Get(req.To); err != nil {
+	if _, err := sh.st.Get(req.To); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -511,7 +692,7 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 		opts.TopK = *req.TopK
 	}
 	fp := opts.Fingerprint()
-	key := req.From + "|" + req.To + "|" + fp
+	key := sh.cacheKeyPrefix() + req.From + "|" + req.To + "|" + fp
 	ctx := r.Context()
 	val, hit, err := s.cache.Do(key, func() (any, error) {
 		// A request that timed out or was abandoned while waiting its turn
@@ -519,7 +700,7 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		return s.store.Summarize(req.From, req.To, opts)
+		return sh.st.Summarize(req.From, req.To, opts)
 	})
 	if err != nil {
 		writeError(w, err)
@@ -533,19 +714,54 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// statsResponse is the GET /stats body: the summarize-cache counters plus
-// the version store's pack-storage and checkout-cache counters and the
-// serving lifecycle (in-flight / shed) counters.
+// handleDatasets lists the hub's tenant/dataset pairs. A single-store
+// server reports its one (default) dataset.
+func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
+	if s.hub == nil {
+		writeJSON(w, http.StatusOK, []store.DatasetRef{
+			{Tenant: s.defTenant, Dataset: s.defDataset},
+		})
+		return
+	}
+	refs, err := s.hub.Datasets()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if refs == nil {
+		refs = []store.DatasetRef{}
+	}
+	writeJSON(w, http.StatusOK, refs)
+}
+
+// statsResponse is the GET /stats body: the summarize-cache counters, the
+// serving lifecycle (in-flight / shed / per-shard request) counters, and
+// the storage side — the single store's counters, or in hub mode the full
+// hub rollup (per-shard store stats, commit/read counters, shared memory
+// budget) with the default shard mirrored into "store" for legacy readers.
 type statsResponse struct {
 	Stats
-	Store   store.Stats  `json:"store"`
-	Serving ServingStats `json:"serving"`
+	Store   store.Stats     `json:"store"`
+	Serving ServingStats    `json:"serving"`
+	Hub     *store.HubStats `json:"hub,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, statsResponse{
+	resp := statsResponse{
 		Stats:   s.cache.Stats(),
-		Store:   s.store.Stats(),
 		Serving: s.ServingStats(),
-	})
+	}
+	if s.hub == nil {
+		resp.Store = s.store.Stats()
+	} else {
+		hs := s.hub.Stats()
+		resp.Hub = &hs
+		for _, sh := range hs.Shards {
+			if sh.Tenant == s.defTenant && sh.Dataset == s.defDataset {
+				resp.Store = sh.Store
+				break
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

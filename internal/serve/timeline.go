@@ -68,7 +68,7 @@ const timelineTol = 1e-9
 // /summarize uses, so a timeline request warms the pair cache and vice
 // versa. Steps run concurrently; identical in-flight work is collapsed by
 // the cache's singleflight.
-func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleTimeline(sh *shardRef, w http.ResponseWriter, r *http.Request) {
 	var req timelineRequest
 	// Every field is optional, so an absent body is the all-defaults
 	// request, not an error.
@@ -78,14 +78,14 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 	}
 	head := req.Head
 	if head == "" {
-		hv, err := s.store.Head()
+		hv, err := sh.st.Head()
 		if err != nil {
 			writeError(w, err)
 			return
 		}
 		head = hv.ID
 	}
-	chain, err := s.store.Chain(head)
+	chain, err := sh.st.Chain(head)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -109,7 +109,7 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 	for i, v := range chain {
 		ids[i] = v.ID
 	}
-	tables, err := history.MaterializeChainContext(ctx, s.store, ids)
+	tables, err := history.MaterializeChainContext(ctx, sh.st, ids)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -254,7 +254,7 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 					cells[ti][i].err = err
 					return
 				}
-				key := from + "|" + to + "|" + fpByTarget[ti]
+				key := sh.cacheKeyPrefix() + from + "|" + to + "|" + fpByTarget[ti]
 				val, hit, err := s.cache.Do(key, func() (any, error) {
 					if s.stepHook != nil {
 						s.stepHook()

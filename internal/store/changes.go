@@ -20,6 +20,9 @@ type ChangeSet = diff.ChangeSet
 // returned set is shared and must not be mutated; Columns is left empty
 // (Changes resolves it for presentation callers).
 func (s *Store) changeSetFor(id string) (*ChangeSet, error) {
+	if err := s.guard(); err != nil {
+		return nil, err
+	}
 	if cs, ok := s.changes.get(id); ok {
 		return cs, nil
 	}

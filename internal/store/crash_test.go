@@ -11,6 +11,7 @@ import (
 	"charles/internal/faultfs"
 	"charles/internal/gen"
 	"charles/internal/table"
+	"charles/internal/vfs"
 )
 
 // commitChain commits the chain into st, returning the ids of every commit
@@ -38,8 +39,35 @@ func crashCommitChain(st *Store, chain []*table.Table) ([]string, error) {
 // before the fault must still be present after the crash — Commit's return
 // is a durability promise.
 func TestCrashInjectionPropertySuite(t *testing.T) {
-	const dir = "db"
 	opts := Options{AnchorEvery: 3, TableCache: 4}
+	runCrashInjectionSuite(t, func(fsys vfs.FS) (*Store, error) {
+		o := opts
+		o.FS = fsys
+		return OpenWith("db", o)
+	})
+}
+
+// TestHubShardCrashInjection runs the same property suite against a store
+// opened through a Hub by dataset name: the namespace layer must not change
+// the crash-safety story — every fault point still surfaces as an error,
+// and the shard's durable state (under the hub's <tenant>/<dataset> tree)
+// reopens clean with all acknowledged commits intact.
+func TestHubShardCrashInjection(t *testing.T) {
+	runCrashInjectionSuite(t, func(fsys vfs.FS) (*Store, error) {
+		h, err := OpenHubWith("hub", HubOptions{
+			Store: Options{AnchorEvery: 3, TableCache: 4, FS: fsys},
+		})
+		if err != nil {
+			return nil, err
+		}
+		st, _, err := h.Acquire("acme", "events")
+		return st, err
+	})
+}
+
+// runCrashInjectionSuite is the suite body, parameterized by how a store is
+// opened over a given filesystem — directly, or through a hub shard.
+func runCrashInjectionSuite(t *testing.T, openStore func(fsys vfs.FS) (*Store, error)) {
 	for seed := int64(1); seed <= 5; seed++ {
 		chain, err := gen.MutateChain(gen.FuzzConfig{N: 20, Steps: 5, Seed: seed})
 		if err != nil {
@@ -48,9 +76,7 @@ func TestCrashInjectionPropertySuite(t *testing.T) {
 
 		// Probe run: count the fault points of the whole sequence.
 		probe := faultfs.New()
-		popts := opts
-		popts.FS = probe
-		pst, err := OpenWith(dir, popts)
+		pst, err := openStore(probe)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -65,10 +91,8 @@ func TestCrashInjectionPropertySuite(t *testing.T) {
 		for point := 0; point < points; point++ {
 			fsys := faultfs.New()
 			fsys.FailAt(point)
-			fopts := opts
-			fopts.FS = fsys
 			var committed []string
-			st, err := OpenWith(dir, fopts)
+			st, err := openStore(fsys)
 			if err == nil {
 				committed, err = crashCommitChain(st, chain)
 			}
@@ -81,9 +105,7 @@ func TestCrashInjectionPropertySuite(t *testing.T) {
 
 			// Power cut, reboot: reopen from the durable state.
 			after := fsys.Crash()
-			ropts := opts
-			ropts.FS = after
-			st2, err := OpenWith(dir, ropts)
+			st2, err := openStore(after)
 			if err != nil {
 				t.Fatalf("seed %d point %d: reopen after crash: %v", seed, point, err)
 			}

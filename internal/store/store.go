@@ -53,6 +53,13 @@ var ErrNotFound = errors.New("store: version not found")
 // version with different ancestry.
 var ErrLineageConflict = errors.New("store: lineage conflict")
 
+// ErrStoreClosed is returned by every operation on a store after Close.
+// Closing purges (and stops refilling) all of the store's caches, so a Hub
+// can evict an idle shard and actually get its memory back — a handle that
+// escaped eviction fails loudly instead of silently resurrecting cache
+// entries the budget no longer accounts for.
+var ErrStoreClosed = errors.New("store: store is closed")
+
 // ErrCorruptStore is returned (wrapped, with the offending version id) when
 // a version's on-disk data is missing, unreadable, or inconsistent with the
 // manifest — a store that would previously fail with an anonymous IO error,
@@ -104,6 +111,12 @@ type Options struct {
 	// fault-injection testing: internal/faultfs implements it with
 	// simulated torn writes, rename failures, and power-cut truncation.
 	FS vfs.FS
+	// Budget, when non-nil, byte-accounts every cache entry (decoded
+	// tables, reconstructed blobs, change sets, diff answers) into a
+	// shared memory budget. The Hub hands every shard the same budget, so
+	// N open stores share one cap instead of multiplying it. TableCache
+	// still bounds entry counts; the budget bounds bytes.
+	Budget *Budget
 }
 
 func (o Options) withDefaults() Options {
@@ -155,6 +168,12 @@ type Store struct {
 	changes *lruCache[*ChangeSet]   // decoded delta-op LRU behind Changes/DeltaOps
 	results *lruCache[*diffAnswer]  // change-query LRU behind DiffResult
 	parses  atomic.Int64            // CSV parses performed (cache misses)
+	closed  atomic.Bool             // set by Close; guard() rejects further ops
+
+	// testCommitHook, when set (package tests only), runs during Commit's
+	// off-lock encode phase — the seam the cross-shard concurrency pin
+	// uses to hold one shard's commit mid-flight while another completes.
+	testCommitHook func()
 }
 
 // diffAnswer is one memoized change query: versions are immutable once
@@ -178,10 +197,10 @@ func OpenWith(dir string, opts Options) (*Store, error) {
 		fs:       opts.FS,
 		versions: map[string]*Version{},
 		packs:    map[string]*packInfo{},
-		tables:   newLRU[*table.Table](opts.TableCache),
-		blobs:    newLRU[[]byte](opts.TableCache),
-		changes:  newLRU[*ChangeSet](opts.TableCache),
-		results:  newLRU[*diffAnswer](opts.TableCache),
+		tables:   newSizedLRU(opts.TableCache, tableBytes, opts.Budget),
+		blobs:    newSizedLRU(opts.TableCache, blobBytes, opts.Budget),
+		changes:  newSizedLRU(opts.TableCache, changeSetBytes, opts.Budget),
+		results:  newSizedLRU(opts.TableCache, diffAnswerBytes, opts.Budget),
 	}
 	if dir == "" {
 		s.mem = map[string][]byte{}
@@ -228,6 +247,32 @@ func OpenWith(dir string, opts Options) (*Store, error) {
 		s.order = append(s.order, v.ID)
 	}
 	return s, nil
+}
+
+// Close releases the store's cache memory — every LRU is purged, its
+// budget charges returned — and rejects all subsequent operations with
+// ErrStoreClosed. In-flight operations that raced Close cannot repopulate
+// the caches (the purge disables them), so a closed store holds no cache
+// memory, ever. Close is idempotent; it never touches disk state, which
+// stays valid for a later re-Open.
+func (s *Store) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	s.tables.disable()
+	s.blobs.disable()
+	s.changes.disable()
+	s.results.disable()
+	return nil
+}
+
+// guard rejects operations on a closed store. Every public entry point
+// that reads or writes store state calls it first.
+func (s *Store) guard() error {
+	if s.closed.Load() {
+		return ErrStoreClosed
+	}
+	return nil
 }
 
 func (s *Store) packDir() string             { return filepath.Join(s.dir, "packs") }
@@ -331,6 +376,9 @@ func equalKey(a, b []string) bool {
 // parent disagrees with the stored version's parent, which is reported as
 // ErrLineageConflict rather than silently discarded.
 func (s *Store) Commit(t *table.Table, parent, message string) (*Version, error) {
+	if err := s.guard(); err != nil {
+		return nil, err
+	}
 	if len(t.Key()) == 0 {
 		return nil, fmt.Errorf("store: table has no primary key; SetKey before committing")
 	}
@@ -396,6 +444,9 @@ func (s *Store) Commit(t *table.Table, parent, message string) (*Version, error)
 	pack, pi, err := s.buildPack(v, blob, pv, ppi, pblob)
 	if err != nil {
 		return nil, err
+	}
+	if s.testCommitHook != nil {
+		s.testCommitHook()
 	}
 
 	// Phase 3 (exclusive lock): re-check dedup/conflict — a concurrent
@@ -598,6 +649,9 @@ func (s *Store) blobFor(id string) ([]byte, error) {
 // reconstructing it from the pack chain on a cache miss. The bytes are
 // immutable once committed; callers must not modify them.
 func (s *Store) Blob(id string) ([]byte, error) {
+	if err := s.guard(); err != nil {
+		return nil, err
+	}
 	return s.blobFor(id)
 }
 
@@ -653,6 +707,9 @@ func (s *Store) CheckoutCached(id string) (*table.Table, bool) {
 
 // Get returns the version metadata for id.
 func (s *Store) Get(id string) (*Version, error) {
+	if err := s.guard(); err != nil {
+		return nil, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	v, ok := s.versions[id]
@@ -678,6 +735,9 @@ func (s *Store) Log() []*Version {
 // content addressing cannot create one) is reported as an error rather than
 // looping forever.
 func (s *Store) Lineage(id string) ([]*Version, error) {
+	if err := s.guard(); err != nil {
+		return nil, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var out []*Version
@@ -715,6 +775,9 @@ func (s *Store) Chain(headID string) ([]*Version, error) {
 // Head returns the most recently committed version (ErrNotFound when the
 // store is empty) — the default timeline endpoint.
 func (s *Store) Head() (*Version, error) {
+	if err := s.guard(); err != nil {
+		return nil, err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if len(s.order) == 0 {
@@ -806,6 +869,9 @@ type GCReport struct {
 // references, and stale .tmp files a crashed atomic write left behind.
 // Memory-only stores have nothing to collect.
 func (s *Store) GC() (GCReport, error) {
+	if err := s.guard(); err != nil {
+		return GCReport{}, err
+	}
 	var rep GCReport
 	if s.dir == "" {
 		return rep, nil

@@ -45,6 +45,9 @@ func (r *VerifyReport) Clean() bool { return len(r.Issues) == 0 }
 // version rather than aborting at the first, so one torn pack does not
 // hide a second. Safe to run on a live store: it takes only shared locks.
 func (s *Store) Verify() (*VerifyReport, error) {
+	if err := s.guard(); err != nil {
+		return nil, err
+	}
 	rep := &VerifyReport{}
 	ids := s.orderSnapshot()
 	rep.Versions = len(ids)
@@ -180,6 +183,9 @@ const quarantineDirName = "quarantine"
 // rewritten manifest is published with the same atomic-write discipline
 // as a commit, and all caches are purged. Healthy stores are a no-op.
 func (s *Store) Repair() (*RepairReport, error) {
+	if err := s.guard(); err != nil {
+		return nil, err
+	}
 	rep := &RepairReport{}
 	// Find the damaged versions first (shared locks only, slow part).
 	ids := s.orderSnapshot()

@@ -53,3 +53,11 @@ func RunServer(ctx context.Context, srv *http.Server, ln net.Listener, drainTime
 // addressing dedups to an existing version whose parent differs from the
 // requested one.
 var ErrLineageConflict = store.ErrLineageConflict
+
+// NewHubServer wraps a multi-tenant StoreHub in an http.Handler: every
+// endpoint exists under /datasets/{tenant}/{dataset}/... and the legacy
+// un-prefixed routes serve the default dataset. GET /stats rolls up
+// per-shard store and serving counters plus the shared budget.
+func NewHubServer(h *StoreHub, cfg ServeConfig) *Server {
+	return serve.NewHubServer(h, cfg)
+}

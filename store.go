@@ -114,3 +114,62 @@ func FilterTable(t *Table, condition string) (*Table, error) {
 	}
 	return t.Filter(mask)
 }
+
+// StoreHub is a multi-tenant namespace of version stores: every
+// tenant/dataset pair addresses an independent pack store (a shard) under
+// one root directory. Shards open lazily, idle ones are closed LRU-first
+// past the MaxOpen soft cap, and all shards' checkout/blob/change-set/
+// diff-result caches charge one shared MemoryBudget. Commits to different
+// shards never block each other.
+type StoreHub = store.Hub
+
+// HubOptions tune a hub: the open-shard soft cap, the shared cache byte
+// budget, and the per-shard store options.
+type HubOptions = store.HubOptions
+
+// HubStats is a hub-wide stats rollup: open shards, budget accounting, and
+// one ShardStats per open shard.
+type HubStats = store.HubStats
+
+// ShardStats is one shard's slice of HubStats: its address, pin count,
+// hub-level commit/read counters, and the underlying store's stats.
+type ShardStats = store.ShardStats
+
+// DatasetRef addresses one shard of a hub.
+type DatasetRef = store.DatasetRef
+
+// MemoryBudget is a shared byte budget with one global recency order
+// across every cache charging it; see NewMemoryBudget.
+type MemoryBudget = store.Budget
+
+// BudgetStats snapshots a MemoryBudget's accounting.
+type BudgetStats = store.BudgetStats
+
+// NewMemoryBudget makes a budget of capBytes (nil — unlimited — when
+// capBytes <= 0). StoreOptions.Budget accepts it directly; OpenHub wires
+// one from HubOptions.MemoryBudget.
+func NewMemoryBudget(capBytes int64) *MemoryBudget { return store.NewBudget(capBytes) }
+
+// ErrStoreClosed is returned by every operation on a store after Close —
+// including operations on a hub shard whose store was evicted.
+var ErrStoreClosed = store.ErrStoreClosed
+
+// ErrHubClosed is returned by every operation on a hub after Close.
+var ErrHubClosed = store.ErrHubClosed
+
+// ErrUnknownDataset is returned (wrapped, naming the shard) when a read
+// addresses a tenant/dataset that was never committed to.
+var ErrUnknownDataset = store.ErrUnknownDataset
+
+// ErrInvalidName rejects tenant/dataset names that could escape the hub
+// directory or collide with the store's own files.
+var ErrInvalidName = store.ErrInvalidName
+
+// OpenHub opens (or creates) a multi-tenant store hub rooted at dir. With
+// dir "" every shard is memory-only (they still share the budget).
+func OpenHub(dir string) (*StoreHub, error) { return store.OpenHub(dir) }
+
+// OpenHubWith is OpenHub with explicit tuning.
+func OpenHubWith(dir string, opts HubOptions) (*StoreHub, error) {
+	return store.OpenHubWith(dir, opts)
+}
