@@ -24,11 +24,12 @@ type BenchResult struct {
 // of the PR that introduced the vectorized evaluation layer (kept for the
 // record) and the most recent measurement.
 type BaselineFile struct {
-	Recorded  string                 `json:"recorded"`
-	Go        string                 `json:"go"`
-	Note      string                 `json:"note,omitempty"`
-	PreChange map[string]BenchResult `json:"pre_change,omitempty"`
-	Current   map[string]BenchResult `json:"current"`
+	Recorded  string                    `json:"recorded"`
+	Go        string                    `json:"go"`
+	Note      string                    `json:"note,omitempty"`
+	PreChange map[string]BenchResult    `json:"pre_change,omitempty"`
+	Current   map[string]BenchResult    `json:"current"`
+	Loadtest  map[string]LoadtestResult `json:"loadtest,omitempty"`
 }
 
 // writeBaseline measures the engine micro-benchmarks and writes (or
@@ -50,6 +51,7 @@ func writeBaseline(path string) error {
 		if err := json.Unmarshal(prev, &old); err == nil {
 			out.PreChange = old.PreChange
 			out.Note = old.Note
+			out.Loadtest = old.Loadtest
 		}
 	}
 

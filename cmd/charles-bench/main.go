@@ -12,12 +12,22 @@
 //	                                       # measure the engine micro-
 //	                                       # benchmarks and record ns/op,
 //	                                       # allocs/op, bytes/op as JSON
+//	charles-bench loadtest [flags]         # drive the HTTP serving surface
+//	                                       # and record p50/p95/p99 latency,
+//	                                       # throughput, and shed/error rates
 //
 // -baseline re-measures the hot-path micro-benchmarks (Summarize on the
 // 2k planted dataset, the toy dataset, and snapshot alignment) with
 // testing.Benchmark and writes them under "current" in the named JSON file,
 // preserving any existing "pre_change" section — that is how the perf
 // trajectory across PRs is recorded.
+//
+// The loadtest subcommand spins up (or targets, with -url) a serving
+// endpoint, drives a mixed log/checkout/diff/summarize workload at a fixed
+// concurrency for a fixed duration, validates the server's /metrics
+// exposition output, and optionally records the percentiles under
+// "loadtest" in the same BENCH json file (-out); -check makes it a CI
+// smoke that fails on zero throughput or any 5xx.
 package main
 
 import (
@@ -29,6 +39,12 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "loadtest" {
+		if err := runLoadtest(os.Args[2:]); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	var (
 		quick    = flag.Bool("quick", false, "shrink data sizes so the suite runs in seconds")
 		run      = flag.String("run", "", "run only the experiment with this id (e.g. E6)")

@@ -7,7 +7,7 @@
 //
 //	charles-serve [-addr :8344] [-dir .charles-store] [-cache 128]
 //	              [-max-inflight 0] [-timeout 0] [-drain-timeout 15s]
-//	              [-read-timeout 30s] [-idle-timeout 2m]
+//	              [-read-timeout 30s] [-idle-timeout 2m] [-access-log PATH]
 //	charles-serve -hub .charles-hub [-default-tenant default] [-default-dataset default]
 //	              [-max-open-stores 32] [-mem-budget 256MiB-in-bytes] [...]
 //
@@ -28,6 +28,13 @@
 // listener closes, in-flight requests get -drain-timeout to finish, then
 // stragglers are cancelled and cut.
 //
+// Observability: GET /metrics exposes Prometheus text-format counters,
+// latency histograms, and store/hub gauges ("charles_*" families; see the
+// README's Operations section). -access-log appends one JSON line per
+// completed request (method, route pattern, shard, status, bytes,
+// duration) to the named file. /healthz, /stats, and /metrics bypass the
+// -max-inflight limiter so probes and scrapers always answer.
+//
 // Endpoints (each also at /datasets/{tenant}/{dataset}/... in hub mode):
 //
 //	POST /versions            commit a CSV snapshot {csv, key, parent?, message?}
@@ -39,6 +46,7 @@
 //	POST /timeline            {head?, target?, alpha?, c?, t?, topk?}
 //	GET  /datasets            list tenant/dataset pairs (hub mode)
 //	GET  /stats               cache + store + serving counters (+ hub rollup)
+//	GET  /metrics             Prometheus text exposition (limiter-exempt)
 //	GET  /healthz             liveness
 package main
 
@@ -73,6 +81,7 @@ func main() {
 	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on SIGTERM before they are cancelled")
 	readTimeout := fs.Duration("read-timeout", 30*time.Second, "max time to read a request (headers + body)")
 	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time per connection")
+	accessLog := fs.String("access-log", "", "append one JSON line per request to this file (empty = no request log)")
 	sub, rest, err := cliflag.ParseGlobal(fs, os.Args[1:])
 	if err != nil {
 		fatal(err)
@@ -87,6 +96,14 @@ func main() {
 		RequestTimeout: *timeout,
 		DefaultTenant:  *defTenant,
 		DefaultDataset: *defDataset,
+	}
+	if *accessLog != "" {
+		f, err := os.OpenFile(*accessLog, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		cfg.RequestLog = f
 	}
 	var handler *charles.Server
 	var where string

@@ -30,10 +30,17 @@
 //
 //	GET  /datasets               list tenant/dataset pairs
 //	GET  /stats                  cache, store, hub, and per-shard serving counters
+//	GET  /metrics                Prometheus text exposition (see metrics.go)
 //	GET  /healthz                liveness
 //
 // Wrong-method requests are answered uniformly on every route: 405 with an
 // Allow header and the JSON error envelope.
+//
+// Every request is instrumented: a statusRecorder captures what was
+// answered, per-shard status-class counters and the /metrics registry are
+// bumped exactly once per request (shed 429s and shard-resolve failures
+// included), and an optional JSON-lines request log records method, route
+// pattern, shard, status, bytes, and duration.
 package serve
 
 import (
@@ -41,6 +48,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"net/http"
 	"sort"
@@ -89,6 +97,10 @@ type Config struct {
 	// names.
 	DefaultTenant  string
 	DefaultDataset string
+	// RequestLog, when non-nil, receives one JSON line per completed
+	// request (see requestLogEntry). Writes are serialized internally; a
+	// write error disables the log instead of failing requests.
+	RequestLog io.Writer
 }
 
 // Server is the HTTP front end over one Store or a Hub of them. Stores are
@@ -114,16 +126,28 @@ type Server struct {
 	testDelay func(*http.Request)
 	stepHook  func()
 
-	mu       sync.Mutex
-	perShard map[string]*shardCounters // tenant/ds -> serving counters
+	// perShard maps tenant/ds -> *shardCounters. A sync.Map because this
+	// is on every request's path and the shard set stabilizes quickly:
+	// after warmup every access is a lock-free read (the previous
+	// exclusive-mutex map serialized all requests on one lock just to
+	// fetch an existing pointer — see BenchmarkShardCounters).
+	perShard sync.Map
+
+	metrics *serverMetrics
+	reqLog  *requestLogger // nil = request logging disabled
 }
 
-// shardCounters is one shard's serve-layer request accounting. The struct
-// is fetched under Server.mu but bumped atomically, so the request hot path
-// holds the lock only for a map lookup.
+// shardCounters is one shard's serve-layer request accounting, bumped
+// atomically once per request in Server.finish. requests counts all
+// traffic attributed to the shard — including requests shed with 429 and
+// shard-resolve failures (404 unknown dataset, 400 invalid name), which
+// previously bypassed the counters entirely and made ServingStats
+// undercount under overload. classes[i] counts responses with status
+// i00–i99 (classes[0] collects out-of-range codes).
 type shardCounters struct {
 	requests atomic.Int64
-	errors   atomic.Int64
+	shed     atomic.Int64
+	classes  [6]atomic.Int64
 }
 
 // shardRef is one request's resolved shard: the store to serve from, the
@@ -177,8 +201,9 @@ func newServer(st *store.Store, h *store.Hub, cfg Config) *Server {
 		cache:     newResultCache(cfg.CacheSize),
 		cfg:       cfg,
 		defTenant: cfg.DefaultTenant, defDataset: cfg.DefaultDataset,
-		perShard: map[string]*shardCounters{},
+		reqLog: newRequestLogger(cfg.RequestLog),
 	}
+	s.metrics = newServerMetrics(s)
 	if cfg.MaxInFlight > 0 {
 		s.slots = make(chan struct{}, cfg.MaxInFlight)
 	}
@@ -201,11 +226,20 @@ func newServer(st *store.Store, h *store.Hub, cfg Config) *Server {
 		{"POST", "/summarize", true, s.handleSummarize},
 		{"POST", "/timeline", true, s.handleTimeline},
 	}
+	// tagRoute stamps the matched pattern onto the request's
+	// statusRecorder so accounting and the request log see the route
+	// pattern, not the raw (unbounded-cardinality) path.
+	tagRoute := func(pattern string, h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			setRoute(w, pattern)
+			h(w, r)
+		}
+	}
 	allowed := map[string][]string{}
 	for _, r := range shardRoutes {
 		wrapped := s.onShard(r.commit, r.h)
 		for _, pattern := range []string{r.pattern, "/datasets/{tenant}/{ds}" + r.pattern} {
-			mux.HandleFunc(r.method+" "+pattern, wrapped)
+			mux.HandleFunc(r.method+" "+pattern, tagRoute(pattern, wrapped))
 			allowed[pattern] = append(allowed[pattern], r.method)
 		}
 	}
@@ -215,12 +249,13 @@ func newServer(st *store.Store, h *store.Hub, cfg Config) *Server {
 	}{
 		{"GET", "/datasets", s.handleDatasets},
 		{"GET", "/stats", s.handleStats},
+		{"GET", "/metrics", s.handleMetrics},
 		{"GET", "/healthz", func(w http.ResponseWriter, _ *http.Request) {
 			writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 		}},
 	}
 	for _, r := range plainRoutes {
-		mux.HandleFunc(r.method+" "+r.pattern, r.h)
+		mux.HandleFunc(r.method+" "+r.pattern, tagRoute(r.pattern, r.h))
 		allowed[r.pattern] = append(allowed[r.pattern], r.method)
 	}
 	// Every route also gets a method-agnostic fallback, so a wrong-method
@@ -230,12 +265,12 @@ func newServer(st *store.Store, h *store.Hub, cfg Config) *Server {
 	for pattern, methods := range allowed {
 		sort.Strings(methods)
 		allow := strings.Join(methods, ", ")
-		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		mux.HandleFunc(pattern, tagRoute(pattern, func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Allow", allow)
 			writeJSON(w, http.StatusMethodNotAllowed, errorJSON{
 				Error: fmt.Sprintf("method %s not allowed (allow: %s)", r.Method, allow),
 			})
-		})
+		}))
 	}
 	s.mux = mux
 	return s
@@ -277,40 +312,60 @@ func (s *Server) resolve(r *http.Request, commit bool) (*shardRef, error) {
 }
 
 // counters returns (creating on first use) one shard's serve counters.
+// Lock-free on the hot path: after a shard's first request every call is
+// a sync.Map read, so concurrent requests to different (or the same)
+// shards never serialize just to fetch an existing counter struct.
 func (s *Server) counters(key string) *shardCounters {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, ok := s.perShard[key]
-	if !ok {
-		c = &shardCounters{}
-		s.perShard[key] = c
+	if c, ok := s.perShard.Load(key); ok {
+		return c.(*shardCounters)
 	}
-	return c
+	c, _ := s.perShard.LoadOrStore(key, &shardCounters{})
+	return c.(*shardCounters)
 }
 
 // onShard adapts a shard handler into an http.HandlerFunc: resolve the
-// shard, pin it for the request, count the request against it.
+// shard, pin it for the request, and tag the request's recorder with the
+// shard key — before resolution, so a failed resolve (unknown dataset,
+// invalid name) is still attributed to the shard it addressed when
+// Server.finish counts the request.
 func (s *Server) onShard(commit bool, h func(*shardRef, http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		tenant, dataset := r.PathValue("tenant"), r.PathValue("ds")
+		if tenant == "" && dataset == "" {
+			tenant, dataset = s.defTenant, s.defDataset
+		}
+		setShard(w, tenant+"/"+dataset)
 		sh, err := s.resolve(r, commit)
 		if err != nil {
 			writeError(w, err)
 			return
 		}
 		defer sh.release()
-		s.counters(sh.tenant + "/" + sh.dataset).requests.Add(1)
 		h(sh, w, r)
 	}
 }
 
 // ServeHTTP implements http.Handler: body bounding, load shedding, and the
-// per-request deadline wrap every route except the liveness and stats
-// endpoints — a saturated server must still answer health checks (or its
-// orchestrator would shoot a box that is merely busy) and stats probes.
+// per-request deadline wrap every route except the liveness, stats, and
+// metrics endpoints — a saturated server must still answer health checks
+// (or its orchestrator would shoot a box that is merely busy), stats
+// probes, and scrapes. The exemption is trailing-slash tolerant: an
+// orchestrator probing /healthz/ must never be shed for the extra slash.
+// Every path through here — exempt, shed, or served — funnels into one
+// finish call for per-shard counters, /metrics, and the request log.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	if r.URL.Path == "/healthz" || r.URL.Path == "/stats" {
-		s.mux.ServeHTTP(w, r)
+	start := time.Now()
+	rec := &statusRecorder{ResponseWriter: w}
+	if p := exemptPath(r.URL.Path); p != "" {
+		if p != r.URL.Path {
+			// Canonicalize so the mux pattern matches the slashed spelling.
+			r2 := r.Clone(r.Context())
+			r2.URL.Path = p
+			r = r2
+		}
+		s.mux.ServeHTTP(rec, r)
+		s.finish(rec, r, start, "")
 		return
 	}
 	if s.slots != nil {
@@ -326,10 +381,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				retry = time.Second
 			}
 			secs := int((retry + time.Second - 1) / time.Second)
-			w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
-			writeJSON(w, http.StatusTooManyRequests, errorJSON{
+			rec.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+			writeJSON(rec, http.StatusTooManyRequests, errorJSON{
 				Error: fmt.Sprintf("server at capacity (%d in flight); retry after %ds", s.cfg.MaxInFlight, secs),
 			})
+			rec.route, rec.shed = routeShed, true
+			s.finish(rec, r, start, s.shardKeyForPath(r.URL.Path))
 			return
 		}
 	}
@@ -343,15 +400,22 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 		r = r.WithContext(ctx)
 	}
-	s.mux.ServeHTTP(w, r)
+	s.mux.ServeHTTP(rec, r)
+	s.finish(rec, r, start, rec.shard)
 }
 
 // Stats snapshots the summarize cache counters.
 func (s *Server) Stats() Stats { return s.cache.Stats() }
 
 // ShardServingStats is one shard's serve-layer request counters.
+// Requests counts every request attributed to the shard — served, shed
+// with 429, or failed at shard resolution — so traffic under overload is
+// fully visible. Status breaks the same total down by status class
+// ("2xx".."5xx"; classes with zero requests are omitted).
 type ShardServingStats struct {
-	Requests int64 `json:"requests"`
+	Requests int64            `json:"requests"`
+	Shed     int64            `json:"shed,omitempty"`
+	Status   map[string]int64 `json:"status,omitempty"`
 }
 
 // ServingStats is a snapshot of the lifecycle counters: the concurrency
@@ -371,17 +435,24 @@ func (s *Server) ServingStats() ServingStats {
 		InFlight:    s.inflight.Load(),
 		Shed:        s.shed.Load(),
 	}
-	func() {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if len(s.perShard) == 0 {
-			return
+	shards := map[string]ShardServingStats{}
+	s.perShard.Range(func(k, v any) bool {
+		c := v.(*shardCounters)
+		sss := ShardServingStats{Requests: c.requests.Load(), Shed: c.shed.Load()}
+		for i := range c.classes {
+			if n := c.classes[i].Load(); n > 0 {
+				if sss.Status == nil {
+					sss.Status = map[string]int64{}
+				}
+				sss.Status[classNames[i]] = n
+			}
 		}
-		st.Shards = make(map[string]ShardServingStats, len(s.perShard))
-		for key, c := range s.perShard {
-			st.Shards[key] = ShardServingStats{Requests: c.requests.Load()}
-		}
-	}()
+		shards[k.(string)] = sss
+		return true
+	})
+	if len(shards) > 0 {
+		st.Shards = shards
+	}
 	return st
 }
 

@@ -808,21 +808,38 @@ func (s *Store) Summarize(fromID, toID string, opts core.Options) ([]core.Ranked
 	return core.SummarizeAligned(a, opts)
 }
 
+// CacheStats is one LRU's counters: requests served from the cache,
+// requests that had to fill, and the resident/capacity entry counts.
+type CacheStats struct {
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Entries  int   `json:"entries"`
+	Capacity int   `json:"capacity"`
+}
+
 // Stats reports the storage and cache state: how many packs are full
 // anchors vs deltas, how many bytes the packs occupy against the logical
-// (canonical CSV) bytes they represent, and the Checkout cache counters.
+// (canonical CSV) bytes they represent, and every read cache's counters —
+// the decoded-table LRU behind Checkout, the reconstructed-blob LRU
+// behind Blob, the decoded delta-op LRU behind Changes, and the
+// change-query answer LRU behind DiffResult. The flat Cache* fields
+// mirror Tables for compatibility with pre-observability readers.
 type Stats struct {
-	Versions      int     `json:"versions"`
-	FullPacks     int     `json:"fullPacks"`
-	DeltaPacks    int     `json:"deltaPacks"`
-	PackBytes     int64   `json:"packBytes"`
-	LogicalBytes  int64   `json:"logicalBytes"`
-	Compression   float64 `json:"compression"` // LogicalBytes / PackBytes
-	CacheHits     int64   `json:"cacheHits"`
-	CacheMisses   int64   `json:"cacheMisses"`
-	Parses        int64   `json:"parses"` // CSV parses (each a cache miss filled)
-	CacheEntries  int     `json:"cacheEntries"`
-	CacheCapacity int     `json:"cacheCapacity"`
+	Versions      int        `json:"versions"`
+	FullPacks     int        `json:"fullPacks"`
+	DeltaPacks    int        `json:"deltaPacks"`
+	PackBytes     int64      `json:"packBytes"`
+	LogicalBytes  int64      `json:"logicalBytes"`
+	Compression   float64    `json:"compression"` // LogicalBytes / PackBytes
+	CacheHits     int64      `json:"cacheHits"`
+	CacheMisses   int64      `json:"cacheMisses"`
+	Parses        int64      `json:"parses"` // CSV parses (each a cache miss filled)
+	CacheEntries  int        `json:"cacheEntries"`
+	CacheCapacity int        `json:"cacheCapacity"`
+	Tables        CacheStats `json:"tables"`
+	Blobs         CacheStats `json:"blobs"`
+	Changes       CacheStats `json:"changes"`
+	Results       CacheStats `json:"results"`
 }
 
 // Stats snapshots the store's storage and cache counters.
@@ -850,9 +867,19 @@ func (s *Store) Stats() Stats {
 		// not even valid JSON — in the /stats endpoint).
 		st.Compression = 1.0
 	}
-	st.CacheHits, st.CacheMisses, st.CacheEntries, st.CacheCapacity = s.tables.stats()
+	st.Tables = cacheStatsOf(s.tables)
+	st.Blobs = cacheStatsOf(s.blobs)
+	st.Changes = cacheStatsOf(s.changes)
+	st.Results = cacheStatsOf(s.results)
+	st.CacheHits, st.CacheMisses = st.Tables.Hits, st.Tables.Misses
+	st.CacheEntries, st.CacheCapacity = st.Tables.Entries, st.Tables.Capacity
 	st.Parses = s.parses.Load()
 	return st
+}
+
+func cacheStatsOf[V any](c *lruCache[V]) CacheStats {
+	hits, misses, entries, capacity := c.stats()
+	return CacheStats{Hits: hits, Misses: misses, Entries: entries, Capacity: capacity}
 }
 
 // GCReport summarizes what GC reclaimed.

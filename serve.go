@@ -20,14 +20,21 @@ type Server = serve.Server
 type ServerStats = serve.Stats
 
 // ServeConfig tunes the serving lifecycle: result-cache size, the
-// concurrency cap behind 429 load shedding, and the per-request deadline.
-// The zero value is the historical behavior (default cache, unlimited
-// concurrency, no deadline).
+// concurrency cap behind 429 load shedding, the per-request deadline, and
+// the structured request-log sink. The zero value is the historical
+// behavior (default cache, unlimited concurrency, no deadline, no log).
 type ServeConfig = serve.Config
 
 // ServingStats snapshots the lifecycle counters: concurrency cap, requests
-// in flight, requests shed with 429.
+// in flight, requests shed with 429, and the per-shard request/status
+// breakdown. The same counters back the server's GET /metrics endpoint,
+// which renders them in the Prometheus text exposition format.
 type ServingStats = serve.ServingStats
+
+// ShardServingStats is one shard's serve-layer request counters: total
+// requests (shed and failed-resolve included), shed count, and per
+// status-class totals.
+type ShardServingStats = serve.ShardServingStats
 
 // NewServer wraps a version store in an http.Handler. cacheSize bounds the
 // summarize result cache (<=0 uses the default). The store may be shared
