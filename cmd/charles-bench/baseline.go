@@ -63,6 +63,8 @@ func writeBaseline(path string) error {
 		{"SummarizeToy", benchSummarizeToy},
 		{"Align5k", benchAlign5k},
 		{"Timeline8x4", benchTimeline8x4},
+		{"LiveExtend10", benchLiveExtend10},
+		{"LiveExtend50", benchLiveExtend50},
 		{"StoreChain50", benchStoreChain50},
 		{"DiffChain50", benchDiffChain50},
 		{"DiffChain50Align", benchDiffChain50Align},
@@ -140,6 +142,41 @@ func benchTimeline8x4(b *testing.B) {
 		}
 	}
 }
+
+// benchLiveExtend seeds an incrementally maintained timeline over a chain
+// of the given length and measures advancing it by ONE new commit — the
+// per-commit cost of live maintenance. LiveExtend10 vs LiveExtend50 is the
+// incremental-maintenance acceptance check: the numbers should be close,
+// because one step's cost does not grow with how long the chain already is
+// (the from-scratch alternative is Timeline-shaped — linear in steps).
+func benchLiveExtend(b *testing.B, steps int) {
+	snaps, err := charles.ChainDataset(charles.ChainConfig{N: 300, Steps: steps, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]string, len(snaps))
+	for i := range ids {
+		ids[i] = fmt.Sprintf("v%03d", i)
+	}
+	base := charles.DefaultOptions("")
+	base.CondAttrs = []string{"dept", "grade"}
+	m, err := charles.NewTimelineMaintainer(snaps[:len(snaps)-1], ids[:len(ids)-1], base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	last, lastID := snaps[len(snaps)-1], ids[len(ids)-1]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Fork().Extend(lastID, last); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchLiveExtend10(b *testing.B) { benchLiveExtend(b, 10) }
+
+func benchLiveExtend50(b *testing.B) { benchLiveExtend(b, 50) }
 
 // benchStoreChain50 mirrors BenchmarkStoreChain50: a root→head checkout
 // walk of a 50-step delta-encoded version chain; after the first walk fills

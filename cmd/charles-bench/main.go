@@ -27,7 +27,13 @@
 // concurrency for a fixed duration, validates the server's /metrics
 // exposition output, and optionally records the percentiles under
 // "loadtest" in the same BENCH json file (-out); -check makes it a CI
-// smoke that fails on zero throughput or any 5xx.
+// smoke that fails on zero throughput or any 5xx. With -live it instead
+// drives the live-timeline workload against a fresh in-process server:
+// one committer appends snapshots, rides each commit with a
+// /timeline/watch long-poll, and reads the warm head-relative POST
+// /timeline answer, while the remaining workers hold watch subscriptions
+// — each latency sample is one full commit-to-warm-answer cycle, and the
+// recorded result is named ServeLiveCommit.
 package main
 
 import (

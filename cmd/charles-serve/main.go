@@ -21,6 +21,13 @@
 // LRU-first), and -mem-budget bounds the total bytes all shards' checkout/
 // blob/change-set/result caches may hold together.
 //
+// Live timelines: every commit advances an incrementally maintained
+// per-dataset timeline (one engine step per commit, full rebuild only on
+// schema changes), so head-relative POST /timeline answers stay warm as
+// data arrives, and GET /timeline/watch streams each commit's step — SSE
+// without a query, one-shot long-poll with ?since=<version id>. Draining
+// closes watch subscriptions promptly with a final drain event.
+//
 // Lifecycle: -max-inflight caps concurrently served requests (beyond it,
 // requests are shed immediately with 429 + Retry-After; /healthz and
 // /stats always answer), -timeout bounds each request's context (expired
@@ -44,6 +51,8 @@
 //	GET  /diff?from=&to=      update distance + changed attrs (&target= for cells)
 //	POST /summarize           {from, to, target, alpha?, c?, t?, topk?}
 //	POST /timeline            {head?, target?, alpha?, c?, t?, topk?}
+//	GET  /timeline/watch      subscribe to commit-driven timeline steps:
+//	                          SSE stream, or long-poll with ?since=<version>
 //	GET  /datasets            list tenant/dataset pairs (hub mode)
 //	GET  /stats               cache + store + serving counters (+ hub rollup)
 //	GET  /metrics             Prometheus text exposition (limiter-exempt)

@@ -11,6 +11,7 @@
 //	charles-store -dir .charles diff      -from <id> -to <id> -target bonus
 //	charles-store -dir .charles summarize -from <id> -to <id> -target bonus [-alpha 0.5] [-topk 10]
 //	charles-store -dir .charles timeline  [-head <id>] [-target bonus] [-alpha 0.5] [-topk 10]
+//	charles-store -dir .charles timeline  -follow [-interval 2s]
 //	charles-store -dir .charles stats
 //	charles-store -dir .charles gc
 //	charles-store -dir .charles verify
@@ -37,14 +38,21 @@
 // stats reports pack counts, on-disk vs logical bytes, and the
 // checkout-cache counters, and gc reclaims legacy per-version CSVs left by
 // migration plus orphaned packs.
+//
+// timeline -follow keeps watching after the initial render: the store is
+// re-opened every -interval to observe commits made by other processes, and
+// each new commit advances an incrementally maintained timeline by one
+// engine step (never a full re-walk), printing just the new step.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	charles "charles"
 	"charles/internal/cliflag"
@@ -78,7 +86,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	dispatch(st, sub, rest)
+	dispatch(st, reopener(*dir), sub, rest)
+}
+
+// reopenFunc opens a fresh view of a store directory — how timeline -follow
+// observes commits made by other processes, whose manifests an already-open
+// handle cannot see.
+type reopenFunc func() (*charles.VersionStore, error)
+
+func reopener(dir string) reopenFunc {
+	return func() (*charles.VersionStore, error) { return charles.OpenStore(dir) }
 }
 
 // runHub executes sub against one shard of a hub — or, for datasets and
@@ -110,12 +127,14 @@ func runHub(hubDir, tenant, dataset string, all bool, sub string, rest []string)
 		fatal(err)
 	}
 	defer release()
-	dispatch(st, sub, rest)
+	// Follow mode re-opens the shard's own directory (hub shards live at
+	// HUBDIR/tenant/dataset) so commits from other processes are seen.
+	dispatch(st, reopener(filepath.Join(hubDir, tenant, dataset)), sub, rest)
 }
 
 // dispatch runs one subcommand against one store — standalone or a hub
-// shard, the commands don't care.
-func dispatch(st *charles.VersionStore, sub string, rest []string) {
+// shard, the commands don't care. reopen is only used by timeline -follow.
+func dispatch(st *charles.VersionStore, reopen reopenFunc, sub string, rest []string) {
 	switch sub {
 	case "commit":
 		cmdCommit(st, rest)
@@ -130,7 +149,7 @@ func dispatch(st *charles.VersionStore, sub string, rest []string) {
 	case "summarize":
 		cmdSummarize(st, rest)
 	case "timeline":
-		cmdTimeline(st, rest)
+		cmdTimeline(st, reopen, rest)
 	case "stats":
 		cmdStats(st)
 	case "gc":
@@ -376,14 +395,29 @@ func cmdSummarize(st *charles.VersionStore, args []string) {
 }
 
 // cmdTimeline walks the lineage root→head through the store's cached
-// checkout path and renders each changed numeric attribute's timeline.
-func cmdTimeline(st *charles.VersionStore, args []string) {
+// checkout path and renders each changed numeric attribute's timeline. With
+// -follow it then keeps watching: the store is re-opened every -interval,
+// and each new commit extends an incrementally maintained timeline by one
+// engine step, printing just that step.
+func cmdTimeline(st *charles.VersionStore, reopen reopenFunc, args []string) {
 	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
 	head := fs.String("head", "", "head version id (default: latest commit)")
 	target := fs.String("target", "", "render only this attribute's timeline")
 	alpha := fs.Float64("alpha", 0.5, "accuracy weight α")
 	topk := fs.Int("topk", 10, "summaries per step")
+	follow := fs.Bool("follow", false, "keep watching for new commits and render each new step")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval with -follow")
 	mustParse(fs, args)
+	if *follow {
+		if *head != "" || *target != "" {
+			fatal(fmt.Errorf("timeline -follow tracks the latest head across all attributes; drop -head/-target"))
+		}
+		base := charles.DefaultOptions("")
+		base.Alpha = *alpha
+		base.TopK = *topk
+		followTimeline(reopen, base, *interval)
+		return
+	}
 	id := *head
 	if id == "" {
 		hv, err := st.Head()
@@ -428,6 +462,124 @@ func cmdTimeline(st *charles.VersionStore, args []string) {
 		fatal(err)
 	}
 	fmt.Print(mt.Render())
+}
+
+// followTimeline tails a store's lineage forever: render the timeline as it
+// stands, then poll for new commits and advance a TimelineMaintainer one
+// engine step per commit — never re-walking the chain — printing each new
+// step as it lands. Runs until interrupted.
+func followTimeline(reopen reopenFunc, base charles.Options, interval time.Duration) {
+	var m *charles.TimelineMaintainer
+	last := ""
+	for first := true; ; first = false {
+		if !first {
+			time.Sleep(interval)
+		}
+		st, err := reopen()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "charles-store: follow:", err)
+			continue
+		}
+		m, last = followOnce(st, m, last, base, first)
+		st.Close()
+	}
+}
+
+// followOnce advances the maintained timeline to st's current head and
+// returns the maintainer and head id for the next poll.
+func followOnce(st *charles.VersionStore, m *charles.TimelineMaintainer, last string, base charles.Options, first bool) (*charles.TimelineMaintainer, string) {
+	hv, err := st.Head()
+	if err != nil {
+		if first {
+			fmt.Println("waiting for the first commit...")
+		}
+		return m, last
+	}
+	if hv.ID == last {
+		return m, last
+	}
+	chain, err := st.Chain(hv.ID)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "charles-store: follow:", err)
+		return m, last
+	}
+	ids := make([]string, len(chain))
+	for i, v := range chain {
+		ids[i] = v.ID
+	}
+	from := -1
+	if m != nil {
+		for i, id := range ids {
+			if id == m.Head() {
+				from = i
+			}
+		}
+	}
+	if m == nil || from == -1 {
+		// First sight of this lineage (or a branch switch): build from
+		// scratch and render everything summarized so far.
+		return followRebuild(st, ids, base), hv.ID
+	}
+	for _, id := range ids[from+1:] {
+		if err := m.ExtendFromSource(st, id); err != nil {
+			// The one-step extension cannot apply (typically a schema
+			// change); fall back to a full rebuild of the new chain.
+			fmt.Printf("[%s] incremental step unavailable (%v); rebuilding\n", id, err)
+			return followRebuild(st, ids, base), hv.ID
+		}
+		renderNewStep(m, id)
+	}
+	return m, hv.ID
+}
+
+// followRebuild seeds a fresh maintainer over the full chain and renders its
+// timeline; a chain still too short to summarize returns nil and waits.
+func followRebuild(st *charles.VersionStore, ids []string, base charles.Options) *charles.TimelineMaintainer {
+	if len(ids) < 2 {
+		fmt.Printf("head %s: waiting for a second version to summarize\n", ids[len(ids)-1])
+		return nil
+	}
+	snaps, err := charles.MaterializeVersions(st, ids)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "charles-store: follow:", err)
+		return nil
+	}
+	m, err := charles.NewTimelineMaintainer(snaps, ids, base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "charles-store: follow:", err)
+		return nil
+	}
+	fmt.Print(m.Timeline().Render())
+	return m
+}
+
+// renderNewStep prints the newest maintained step: one block per attribute
+// with its top summary's CTs, plus the drift note when the step's policy
+// moved against the previous one.
+func renderNewStep(m *charles.TimelineMaintainer, id string) {
+	mt := m.Timeline()
+	fmt.Printf("\n[%s] step %d\n", id, mt.Steps)
+	for _, attr := range mt.Attrs {
+		tl := mt.Timelines[attr]
+		s := tl.Steps[len(tl.Steps)-1]
+		switch {
+		case s.NoChange:
+			fmt.Printf("  %s: (no change)\n", attr)
+		case len(s.Ranked) == 0:
+			fmt.Printf("  %s: (no summary recovered)\n", attr)
+		default:
+			top := s.Ranked[0]
+			fmt.Printf("  %s: score %.1f%%\n", attr, top.Breakdown.Score*100)
+			for _, ct := range top.Summary.CTs {
+				fmt.Printf("    %s\n", ct)
+			}
+			for _, d := range tl.Drifts() {
+				if d.StepB == len(tl.Steps)-1 {
+					fmt.Printf("    drift vs step %d: %s\n", d.StepA, d.Note)
+				}
+			}
+		}
+	}
 }
 
 // cmdStats prints the pack-storage and checkout-cache counters.

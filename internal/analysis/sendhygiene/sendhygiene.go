@@ -1,0 +1,134 @@
+// Package sendhygiene enforces the never-block-under-lock send convention
+// in internal/store and internal/serve: the commit-notification fan-outs
+// (Store/Hub publishCommit, the live registry's publishLocked) all send to
+// subscriber channels while holding the shard mutex. A blocking send there
+// lets one slow consumer wedge every committer, pump, and request on the
+// shard — the exact failure the feeds' drop-oldest coalescing contract
+// exists to rule out.
+//
+// Rule: inside a lock-holding function scope, every channel send must be
+// non-blocking — a select case with a default clause in the same select.
+// A scope is lock-holding when the function body itself calls
+// mu.Lock()/mu.RLock() on a mutex-named receiver, or when the function's
+// name carries the Locked suffix (the repo's caller-holds-the-lock
+// convention). Function literals are separate scopes: a goroutine spawned
+// under a lock does not inherit the lock, and a send inside it is the
+// goroutine's own business.
+//
+// This is a syntactic heuristic, like the rest of the suite: it cannot see
+// that a manual mu.Unlock() ran before the send. That pattern (unlock, then
+// block) is legitimate but rare; it carries a lint:allow sendhygiene
+// directive explaining itself.
+package sendhygiene
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"charles/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "sendhygiene",
+	Doc:  "channel sends in lock-holding scopes must be non-blocking (select with default)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !strings.Contains(pass.Pkg.Path, "internal/store") && !strings.Contains(pass.Pkg.Path, "internal/serve") {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkScope(pass, n.Name.Name, n.Body)
+				}
+			case *ast.FuncLit:
+				checkScope(pass, "", n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkScope applies the rule to one function body, stopping at nested
+// function literals (they are their own scopes and get their own visit
+// from run's walk).
+func checkScope(pass *analysis.Pass, name string, body *ast.BlockStmt) {
+	locked := strings.HasSuffix(name, "Locked")
+	var sends []*ast.SendStmt
+	nonBlocking := map[*ast.SendStmt]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			if hasDefault(n) {
+				for _, cl := range n.Body.List {
+					if cc, ok := cl.(*ast.CommClause); ok {
+						if s, ok := cc.Comm.(*ast.SendStmt); ok {
+							nonBlocking[s] = true
+						}
+					}
+				}
+			}
+		case *ast.SendStmt:
+			sends = append(sends, n)
+		case *ast.CallExpr:
+			if _, method, ok := asMuCall(n); ok && (method == "Lock" || method == "RLock") {
+				locked = true
+			}
+		}
+		return true
+	})
+	if !locked {
+		return
+	}
+	for _, s := range sends {
+		if nonBlocking[s] {
+			continue
+		}
+		pass.Reportf(s.Pos(),
+			"blocking send on %s in a lock-holding scope; make it a select case with a default (drop or coalesce) or move it after the unlock (or lint:allow sendhygiene with a reason)",
+			types.ExprString(s.Chan))
+	}
+}
+
+// hasDefault reports whether sel carries a default clause (a CommClause
+// with no communication).
+func hasDefault(sel *ast.SelectStmt) bool {
+	for _, cl := range sel.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// asMuCall unpacks a call recv.<method>() where recv's final component is
+// a mutex-named field or variable (mu, subMu, muFoo...) — the same
+// heuristic lockhygiene uses, so the two analyzers agree on what counts as
+// a lock.
+func asMuCall(call *ast.CallExpr) (recv string, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	var last string
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		last = x.Name
+	case *ast.SelectorExpr:
+		last = x.Sel.Name
+	default:
+		return "", "", false
+	}
+	if !strings.Contains(strings.ToLower(last), "mu") {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}

@@ -1,0 +1,11 @@
+package sendhygiene
+
+import (
+	"testing"
+
+	"charles/internal/analysis/analysistest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, ".", Analyzer, "internal/serve", "internal/store")
+}

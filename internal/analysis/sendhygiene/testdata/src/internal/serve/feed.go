@@ -1,0 +1,91 @@
+// Fixture for sendhygiene: sends in lock-holding scopes in a serve-shaped
+// package.
+package serve
+
+import "sync"
+
+type event struct{ seq uint64 }
+
+type shard struct {
+	mu       sync.Mutex
+	watchers map[chan event]bool
+	seq      uint64
+}
+
+// Bad: a bare send while holding the shard lock blocks every committer on
+// one slow watcher.
+func (s *shard) publish(ev event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for ch := range s.watchers {
+		ch <- ev // want `blocking send on ch in a lock-holding scope`
+	}
+}
+
+// Good: the non-blocking fan-out with drop-oldest coalescing.
+func (s *shard) publishCoalescing(ev event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for ch := range s.watchers {
+		select {
+		case ch <- ev:
+		default:
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- ev:
+			default:
+			}
+		}
+	}
+}
+
+// Bad: the Locked suffix means the caller holds the lock, so the send
+// blocks under it just the same.
+func (s *shard) publishLocked(ev event) {
+	for ch := range s.watchers {
+		ch <- ev // want `blocking send on ch in a lock-holding scope`
+	}
+}
+
+// Bad: a select without a default is still a blocking send.
+func (s *shard) publishWaiting(ev event, stop chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for ch := range s.watchers {
+		select {
+		case ch <- ev: // want `blocking send on ch in a lock-holding scope`
+		case <-stop:
+		}
+	}
+}
+
+// Good: a goroutine is its own scope — it does not hold the spawning
+// function's lock, so its send is free to block.
+func (s *shard) notifyAsync(ev event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for ch := range s.watchers {
+		ch := ch
+		go func() { ch <- ev }()
+	}
+}
+
+// Good: no lock in scope, a plain send is fine (workers, semaphores).
+func pump(in, out chan event) {
+	for ev := range in {
+		out <- ev
+	}
+}
+
+// Documented manual section: the lock is released before the blocking
+// hand-off, which the analyzer cannot see, so the send carries the
+// directive.
+func (s *shard) handOff(ev event, sink chan event) {
+	s.mu.Lock()
+	s.seq = ev.seq
+	s.mu.Unlock() //lint:allow lockhygiene unlock precedes the blocking hand-off below
+	sink <- ev    //lint:allow sendhygiene the lock is released two lines up
+}

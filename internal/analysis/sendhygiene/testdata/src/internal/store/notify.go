@@ -1,0 +1,32 @@
+// Fixture for sendhygiene: the store-shaped commit feed.
+package store
+
+import "sync"
+
+type note struct{ id string }
+
+type feed struct {
+	subMu sync.RWMutex
+	subs  map[chan note]bool
+}
+
+// Bad: RLock counts as holding the lock too.
+func (f *feed) broadcast(n note) {
+	f.subMu.RLock()
+	defer f.subMu.RUnlock()
+	for ch := range f.subs {
+		ch <- n // want `blocking send on ch in a lock-holding scope`
+	}
+}
+
+// Good: the committer's non-blocking publish.
+func (f *feed) publish(n note) {
+	f.subMu.Lock()
+	defer f.subMu.Unlock()
+	for ch := range f.subs {
+		select {
+		case ch <- n:
+		default:
+		}
+	}
+}

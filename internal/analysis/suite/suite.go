@@ -8,6 +8,7 @@ import (
 	"charles/internal/analysis/ctxflow"
 	"charles/internal/analysis/keyenc"
 	"charles/internal/analysis/lockhygiene"
+	"charles/internal/analysis/sendhygiene"
 	"charles/internal/analysis/vfsdiscipline"
 )
 
@@ -18,6 +19,7 @@ func All() []*analysis.Analyzer {
 		ctxflow.Analyzer,
 		keyenc.Analyzer,
 		lockhygiene.Analyzer,
+		sendhygiene.Analyzer,
 		vfsdiscipline.Analyzer,
 	}
 }

@@ -1,0 +1,186 @@
+// Incremental timeline maintenance: instead of re-walking a version chain
+// on every question, a TimelineMaintainer keeps the per-step engine results
+// alive and extends them by exactly one step per commit — the "query
+// answering under updates" idea (Berkholz/Keppeler/Schweikardt,
+// arXiv:1702.08764) applied to change summarization. Extension work is
+// O(one step) regardless of chain length, and the maintained MultiTimeline
+// is bit-identical to a from-scratch SummarizeAll rebuild of any multi-step
+// chain: both paths run the same deterministic engine on the same pairs in
+// the same canonical Workers=1 form and merge with the same mergeSteps.
+// (A 1-step SummarizeAll with Workers unset runs the engine parallel, whose
+// tie order inside a summary can differ; pass Workers=1 when comparing.)
+
+package history
+
+import (
+	"context"
+	"fmt"
+
+	"charles/internal/core"
+	"charles/internal/diff"
+	"charles/internal/table"
+)
+
+// TimelineMaintainer incrementally maintains a MultiTimeline over a growing
+// version chain. It is NOT safe for concurrent use; callers serialize
+// access (the serve layer holds one per shard behind a mutex).
+type TimelineMaintainer struct {
+	base    core.Options
+	ids     []string // version ids, root → head (len == len(results)+1)
+	first   *table.Table
+	last    *table.Table
+	results []*core.MultiResult // one per consecutive pair
+}
+
+// NewTimelineMaintainer summarizes the seed chain and returns a maintainer
+// positioned at its head. snapshots and ids must be parallel (root → head)
+// with at least 2 entries. The snapshots are retained only at the
+// endpoints: first (for schema-ordered merging) and last (the pair source
+// for the next Extend).
+func NewTimelineMaintainer(snapshots []*table.Table, ids []string, base core.Options) (*TimelineMaintainer, error) {
+	return NewTimelineMaintainerContext(context.Background(), snapshots, ids, base) //lint:allow ctxflow compatibility shim for pre-context callers; new code calls NewTimelineMaintainerContext
+}
+
+// NewTimelineMaintainerContext is NewTimelineMaintainer bounded by ctx (the
+// seed walk runs on the same bounded step pool as SummarizeAllContext).
+func NewTimelineMaintainerContext(ctx context.Context, snapshots []*table.Table, ids []string, base core.Options) (*TimelineMaintainer, error) {
+	if len(snapshots) != len(ids) {
+		return nil, fmt.Errorf("history: %d snapshots but %d ids", len(snapshots), len(ids))
+	}
+	if len(snapshots) < 2 {
+		return nil, fmt.Errorf("history: need at least 2 snapshots, got %d", len(snapshots))
+	}
+	steps := len(snapshots) - 1
+	results := make([]*core.MultiResult, steps)
+	if err := forEachStep(ctx, steps, base.Workers, func(i int, engineBase core.Options) error {
+		// Always run the engine in its Workers=1 form — the canonical form
+		// forEachStep collapses to on every multi-step chain. The engine's
+		// rankings are semantically worker-count-independent but not
+		// bit-stable across worker counts (tie order inside a summary can
+		// differ), and the maintainer's contract is bit-identity between an
+		// extended timeline and a ≥2-step rebuild, so every step must be
+		// produced in the same form regardless of when it was computed.
+		engineBase.Workers = 1
+		var err error
+		results[i], err = summarizeStep(snapshots[i], snapshots[i+1], engineBase)
+		return err
+	}, base); err != nil {
+		return nil, err
+	}
+	return &TimelineMaintainer{
+		base:    base,
+		ids:     append([]string(nil), ids...),
+		first:   snapshots[0],
+		last:    snapshots[len(snapshots)-1],
+		results: results,
+	}, nil
+}
+
+// Head returns the version id the maintainer is currently positioned at.
+func (m *TimelineMaintainer) Head() string { return m.ids[len(m.ids)-1] }
+
+// Steps returns the number of maintained consecutive pairs.
+func (m *TimelineMaintainer) Steps() int { return len(m.results) }
+
+// Versions returns a copy of the maintained chain's ids, root → head.
+func (m *TimelineMaintainer) Versions() []string {
+	return append([]string(nil), m.ids...)
+}
+
+// Extend advances the maintainer by one commit: next is the new head
+// snapshot (id its version id), and exactly one engine step — last pair
+// only — runs. On error (most commonly a schema change, which diff.Align
+// rejects) the maintainer is left unchanged so the caller can fall back to
+// a full rebuild over the new chain.
+func (m *TimelineMaintainer) Extend(id string, next *table.Table) error {
+	// Same canonical Workers=1 engine form as the seed build (see
+	// NewTimelineMaintainerContext): the one new pair must be bit-identical
+	// to what a from-scratch multi-step rebuild would compute for it.
+	eb := m.base
+	eb.Workers = 1
+	res, err := summarizeStep(m.last, next, eb)
+	if err != nil {
+		return fmt.Errorf("history: extend %s→%s: %w", m.Head(), id, err)
+	}
+	m.ids = append(m.ids, id)
+	m.results = append(m.results, res)
+	m.last = next
+	return nil
+}
+
+// ExtendFromSource is Extend with the new head materialized through src:
+// delta-natively against the maintainer's retained head snapshot when src
+// serves delta ops, falling back to a checkout. The maintainer must
+// currently be positioned at the new version's parent.
+func (m *TimelineMaintainer) ExtendFromSource(src CheckoutSource, id string) error {
+	next, err := MaterializeStep(src, m.Head(), m.last, id)
+	if err != nil {
+		return err
+	}
+	return m.Extend(id, next)
+}
+
+// Timeline assembles the maintained MultiTimeline. The assembly is the same
+// mergeSteps that SummarizeAll uses, over the same per-step results, so the
+// output is bit-identical to a from-scratch rebuild of the same chain.
+func (m *TimelineMaintainer) Timeline() *MultiTimeline {
+	return mergeSteps(m.first, m.results)
+}
+
+// TimelineAt assembles the MultiTimeline for a prefix of the maintained
+// chain ending at id, along with that prefix's version ids. It lets a
+// reader race a concurrent commit and still get a consistent answer for the
+// head it resolved. ok is false when id is not in the chain or is the root
+// (a single version has no timeline).
+func (m *TimelineMaintainer) TimelineAt(id string) (*MultiTimeline, []string, bool) {
+	for i, cur := range m.ids {
+		if cur == id {
+			if i == 0 {
+				return nil, nil, false
+			}
+			return mergeSteps(m.first, m.results[:i]), append([]string(nil), m.ids[:i+1]...), true
+		}
+	}
+	return nil, nil, false
+}
+
+// Fork returns an independent maintainer sharing the immutable per-step
+// results but with private id/result slices, so benchmarks (and speculative
+// extensions) can Extend without mutating the original.
+func (m *TimelineMaintainer) Fork() *TimelineMaintainer {
+	return &TimelineMaintainer{
+		base:    m.base,
+		ids:     append([]string(nil), m.ids...),
+		first:   m.first,
+		last:    m.last,
+		results: append([]*core.MultiResult(nil), m.results...),
+	}
+}
+
+// MaterializeStep materializes one version delta-natively when possible:
+// the cached-table path first, then applying id's ChangeSet to prev (the
+// already materialized snapshot of prevID, id's parent), then a plain
+// checkout. It is the single-step form of MaterializeChainContext's loop
+// body, with the same verify-before-trust discipline on applied deltas.
+func MaterializeStep(src CheckoutSource, prevID string, prev *table.Table, id string) (*table.Table, error) {
+	if cc, ok := src.(CachedCheckoutSource); ok {
+		if t, ok := cc.CheckoutCached(id); ok {
+			return t, nil
+		}
+	}
+	if ds, ok := src.(DeltaSource); ok && prev != nil {
+		if cs, err := ds.DeltaOps(id); err == nil && !cs.Materialized && cs.Base == prevID {
+			if t, err := diff.ApplyChangeSet(prev, cs); err == nil {
+				sa, _ := src.(SnapshotAdmitter)
+				if sa == nil || sa.AdmitSnapshot(id, t) == nil {
+					return t, nil
+				}
+			}
+		}
+	}
+	t, err := src.Checkout(id)
+	if err != nil {
+		return nil, fmt.Errorf("history: version %s: %w", id, err)
+	}
+	return t, nil
+}

@@ -37,6 +37,14 @@ func Serve(ctx context.Context, srv *http.Server, ln net.Listener, drainTimeout 
 	case <-ctx.Done():
 	}
 
+	// Tell the handler shutdown has begun before Shutdown starts waiting:
+	// long-lived subscription handlers (/timeline/watch SSE streams and
+	// blocked long-polls) would otherwise hold their connections — and
+	// limiter slots — until the drain deadline force-closed them.
+	if d, ok := srv.Handler.(interface{ BeginDrain() }); ok {
+		d.BeginDrain()
+	}
+
 	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout) //lint:allow ctxflow the drain deadline must keep running after ctx (the SIGTERM context) is already cancelled
 	defer cancel()
 	err := srv.Shutdown(dctx)

@@ -217,14 +217,20 @@ func TestRequestTimeoutReturns503(t *testing.T) {
 // constantly) while SIGTERM-equivalent cancellation lands mid-flight. Every
 // request that got a response got a well-defined one (200 served, 429
 // shed), Serve returns clean within the drain deadline, and no limiter
-// slot leaks.
+// slot leaks. Long-lived /timeline/watch subscribers ride along: an SSE
+// stream and a blocked long-poll each hold a limiter slot through the
+// drain and must be told about it — a "drain" event then clean EOF for
+// the stream, a 200 draining body for the poll — instead of being
+// force-closed at the deadline with their slots still held.
 func TestGracefulDrainUnderLoad(t *testing.T) {
 	st, err := store.Open("")
 	if err != nil {
 		t.Fatal(err)
 	}
 	ids := commitLineage(t, st, 6)
-	srv := NewServerWith(st, Config{MaxInFlight: 2, RequestTimeout: 5 * time.Second})
+	// 4 slots: the two watch subscribers pin one each for the whole soak,
+	// leaving two for the hammering clients — still few enough to shed.
+	srv := NewServerWith(st, Config{MaxInFlight: 4, RequestTimeout: 5 * time.Second})
 	hs := &http.Server{Handler: srv}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -274,6 +280,53 @@ func TestGracefulDrainUnderLoad(t *testing.T) {
 		}(i)
 	}
 
+	sseDrained := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(base + "/timeline/watch")
+		if err != nil {
+			sseDrained <- err
+			return
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body) // until the handler exits
+		if err != nil {
+			sseDrained <- fmt.Errorf("SSE read: %w", err)
+			return
+		}
+		if !bytes.Contains(data, []byte("event: drain")) {
+			sseDrained <- fmt.Errorf("SSE stream ended without a drain event:\n%s", data)
+			return
+		}
+		sseDrained <- nil
+	}()
+	pollDrained := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(base + "/timeline/watch?since=" + ids[5])
+		if err != nil {
+			pollDrained <- err
+			return
+		}
+		defer resp.Body.Close()
+		var pr watchPollResponse
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			pollDrained <- err
+			return
+		}
+		if !pr.Draining {
+			pollDrained <- fmt.Errorf("blocked poll answered %+v, want draining", pr)
+			return
+		}
+		pollDrained <- nil
+	}()
+	// Both subscribers must be registered (and holding slots) before the
+	// drain begins, or the test would not exercise their shutdown path.
+	for deadline := time.Now().Add(10 * time.Second); srv.watchSubs.Load() < 2; {
+		if time.Now().After(deadline) {
+			t.Fatal("watch subscribers never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
 	time.Sleep(100 * time.Millisecond) // let the load build
 	cancel()                           // SIGTERM
 	select {
@@ -294,6 +347,23 @@ func TestGracefulDrainUnderLoad(t *testing.T) {
 		if c != http.StatusOK && c != http.StatusTooManyRequests {
 			t.Fatalf("request finished with %d during drain, want only 200/429", c)
 		}
+	}
+	watchers := []struct {
+		name string
+		ch   chan error
+	}{{"SSE watcher", sseDrained}, {"long-poll watcher", pollDrained}}
+	for _, wtc := range watchers {
+		select {
+		case err := <-wtc.ch:
+			if err != nil {
+				t.Errorf("%s: %v", wtc.name, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s did not finish after the drain", wtc.name)
+		}
+	}
+	if got := srv.watchSubs.Load(); got != 0 {
+		t.Fatalf("watch subscriber gauge %d after drain, want 0", got)
 	}
 	if got := srv.ServingStats().InFlight; got != 0 {
 		t.Fatalf("in-flight count %d after drain (slot leak)", got)

@@ -139,6 +139,10 @@ type serverMetrics struct {
 	reg      *metrics.Registry
 	requests *metrics.CounterVec   // route, shard, class
 	duration *metrics.HistogramVec // route
+	// notifications counts commit notes the live-timeline pump consumed;
+	// maintenance counts how each was applied (extend / rebuild / skip).
+	notifications *metrics.CounterVec // shard
+	maintenance   *metrics.CounterVec // shard, mode
 }
 
 // newServerMetrics builds the registry and registers the scrape-time
@@ -152,7 +156,18 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"route", "shard", "class"),
 		duration: reg.NewHistogramVec("charles_http_request_duration_seconds",
 			"HTTP request latency by route pattern", nil, "route"),
+		notifications: reg.NewCounterVec("charles_commit_notifications_total",
+			"commit notifications fanned out to the live-timeline registry, by shard",
+			"shard"),
+		maintenance: reg.NewCounterVec("charles_timeline_maintenance_total",
+			"live timeline maintenance operations by shard and mode (extend = one incremental engine step, rebuild = full chain rebuild, skip = head moved without a maintainable timeline)",
+			"shard", "mode"),
 	}
+	reg.NewGaugeFunc("charles_watch_subscribers",
+		"active /timeline/watch subscribers (SSE streams and blocked long-polls)", nil,
+		func() []metrics.Sample {
+			return []metrics.Sample{{Value: float64(s.watchSubs.Load())}}
+		})
 	reg.NewGaugeFunc("charles_http_in_flight",
 		"requests currently holding a limiter slot", nil,
 		func() []metrics.Sample {

@@ -25,6 +25,11 @@
 //	POST .../summarize              {from, to, target, alpha?, c?, t?, topk?}
 //	POST .../timeline               {head?, target?, alpha?, c?, t?, topk?} — walk
 //	                                the lineage root→head and summarize every step
+//	                                (head-relative defaults answered live from the
+//	                                commit-maintained timeline, memoized per head)
+//	GET  .../timeline/watch         subscribe to live timeline updates — an SSE
+//	                                stream of per-commit step events, or one
+//	                                long-poll cycle with ?since=<version>
 //
 // And hub-wide:
 //
@@ -121,6 +126,16 @@ type Server struct {
 	inflight atomic.Int64
 	shed     atomic.Int64
 
+	// live is the commit-driven timeline registry (see live.go); the pump
+	// goroutine feeds it from the store/hub commit subscription. watchSubs
+	// counts active /timeline/watch subscribers (SSE + blocked long-polls).
+	// drain is closed by BeginDrain so watch handlers end promptly inside
+	// the graceful-drain window.
+	live      *liveRegistry
+	watchSubs atomic.Int64
+	drain     chan struct{}
+	drainOnce sync.Once
+
 	// Test seams (set only from package tests): testDelay runs after a
 	// limiter slot is held, stepHook inside each timeline step computation.
 	testDelay func(*http.Request)
@@ -202,10 +217,20 @@ func newServer(st *store.Store, h *store.Hub, cfg Config) *Server {
 		cfg:       cfg,
 		defTenant: cfg.DefaultTenant, defDataset: cfg.DefaultDataset,
 		reqLog: newRequestLogger(cfg.RequestLog),
+		live:   newLiveRegistry(),
+		drain:  make(chan struct{}),
 	}
 	s.metrics = newServerMetrics(s)
 	if cfg.MaxInFlight > 0 {
 		s.slots = make(chan struct{}, cfg.MaxInFlight)
+	}
+	// The commit pump: one goroutine bridging the storage layer's commit
+	// feed into the live-timeline registry. It exits when the store (or
+	// hub) is closed — Close closes the subscription channel.
+	if h != nil {
+		go s.pumpHub(h.Subscribe(0))
+	} else {
+		go s.pumpStore(st.Subscribe(0))
 	}
 	mux := http.NewServeMux()
 	// Each dataset route is registered twice: under the explicit
@@ -225,6 +250,7 @@ func newServer(st *store.Store, h *store.Hub, cfg Config) *Server {
 		{"GET", "/diff", false, s.handleDiff},
 		{"POST", "/summarize", true, s.handleSummarize},
 		{"POST", "/timeline", true, s.handleTimeline},
+		{"GET", "/timeline/watch", false, s.handleWatch},
 	}
 	// tagRoute stamps the matched pattern onto the request's
 	// statusRecorder so accounting and the request log see the route
@@ -402,6 +428,15 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mux.ServeHTTP(rec, r)
 	s.finish(rec, r, start, rec.shard)
+}
+
+// BeginDrain tells long-lived handlers (SSE streams, blocked long-polls on
+// /timeline/watch) that shutdown has begun: they finish their current write
+// and return, releasing their limiter slots inside the graceful-drain
+// window instead of holding connections open until the force-close.
+// Idempotent; called by the lifecycle (see Serve) at SIGTERM.
+func (s *Server) BeginDrain() {
+	s.drainOnce.Do(func() { close(s.drain) })
 }
 
 // Stats snapshots the summarize cache counters.

@@ -33,7 +33,9 @@ func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := NewServer(st, 8)
+	// Big enough that a live timeline's seeded per-step entries plus its
+	// whole-response memo all stay resident across the assertions.
+	srv := NewServer(st, 64)
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
 	return srv, ts

@@ -49,11 +49,16 @@ type timelineTargetJSON struct {
 	Drifts []driftJSON        `json:"drifts,omitempty"`
 }
 
-// timelineResponse is the POST /timeline body.
+// timelineResponse is the POST /timeline body. Live reports the answer was
+// assembled from the commit-maintained timeline (head-relative all-default
+// requests; see live.go) rather than a request-time chain walk; Cached
+// reports a live answer served whole from the memo for the same head.
 type timelineResponse struct {
 	Head     string               `json:"head"`
 	Versions []string             `json:"versions"` // root → head
 	Steps    int                  `json:"steps"`
+	Live     bool                 `json:"live,omitempty"`
+	Cached   bool                 `json:"cached,omitempty"`
 	Targets  []timelineTargetJSON `json:"targets"`
 	Skipped  map[string]string    `json:"skipped,omitempty"`
 }
@@ -76,6 +81,15 @@ func (s *Server) handleTimeline(sh *shardRef, w http.ResponseWriter, r *http.Req
 		writeError(w, err)
 		return
 	}
+	// The head-relative all-defaults question — "what does the timeline at
+	// the current head look like?" — is answered from the live maintained
+	// timeline and memoized per head version; explicit heads, targets, or
+	// tuning fall through to the request-time walk below.
+	if req.Head == "" && req.Target == "" &&
+		req.Alpha == nil && req.C == nil && req.T == nil && req.TopK == nil {
+		s.handleLiveTimeline(sh, w, r)
+		return
+	}
 	head := req.Head
 	if head == "" {
 		hv, err := sh.st.Head()
@@ -91,7 +105,7 @@ func (s *Server) handleTimeline(sh *shardRef, w http.ResponseWriter, r *http.Req
 		return
 	}
 	if len(chain) < 2 {
-		writeError(w, errors.New("timeline needs a lineage of at least 2 versions"))
+		writeError(w, errTimelineTooShort)
 		return
 	}
 	steps := len(chain) - 1

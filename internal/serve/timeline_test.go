@@ -97,7 +97,11 @@ func TestTimelineEndpoint(t *testing.T) {
 		t.Error("overtime: expected a no-change step")
 	}
 
-	// A second identical request must be served from the per-step LRU.
+	// The head-relative default request is answered live and memoized whole:
+	// a second identical request is one cache lookup, zero engine runs.
+	if !tr.Live {
+		t.Error("head-relative default timeline not marked live")
+	}
 	execBefore := srv.Stats().Executions
 	resp2, body2 := postJSON(t, ts.URL+"/timeline", timelineRequest{})
 	if resp2.StatusCode != http.StatusOK {
@@ -110,12 +114,8 @@ func TestTimelineEndpoint(t *testing.T) {
 	if got := srv.Stats().Executions; got != execBefore {
 		t.Errorf("second timeline ran %d engine executions, want 0 (cache)", got-execBefore)
 	}
-	for _, tj := range tr2.Targets {
-		for i, step := range tj.Steps {
-			if !step.NoChange && !step.Cached {
-				t.Errorf("%s step %d: expected cache hit on repeat", tj.Target, i)
-			}
-		}
+	if !tr2.Live || !tr2.Cached {
+		t.Errorf("repeat live timeline: live=%v cached=%v, want both", tr2.Live, tr2.Cached)
 	}
 
 	// POST /summarize shares the same cache keys: a step summarize of an

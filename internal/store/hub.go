@@ -71,6 +71,13 @@ type Hub struct {
 	shards map[string]*shard // key = tenant + "/" + dataset
 	ll     *list.List        // *shard recency; front = most recently used
 	closed bool
+
+	// Hub-level commit-notification state (subscribe.go): the fan-in of
+	// every open shard's store feed. Guarded by its own subMu — delivery
+	// never runs under the hub lock.
+	subMu      sync.Mutex
+	subs       map[*HubSubscription]struct{}
+	closedSubs bool
 }
 
 // shard is one open store plus its hub bookkeeping. refs counts in-flight
@@ -220,6 +227,11 @@ func (h *Hub) acquire(tenant, dataset string, create bool) (*shard, error) {
 			}()
 			return nil, sh.err
 		}
+		// Bridge the new shard's commit feed into the hub-level feed. The
+		// forwarder exits when the shard store is closed (idle eviction or
+		// hub shutdown closes the subscription channel); a re-opened shard
+		// spawns a fresh one.
+		go h.forwardShard(sh.tenant, sh.dataset, sh.st.Subscribe(0))
 		h.evictIdle()
 		return sh, nil
 	}
@@ -546,5 +558,6 @@ func (h *Hub) Close() error {
 	for _, st := range victims {
 		st.Close()
 	}
+	h.closeHubSubs()
 	return nil
 }

@@ -170,6 +170,13 @@ type Store struct {
 	parses  atomic.Int64            // CSV parses performed (cache misses)
 	closed  atomic.Bool             // set by Close; guard() rejects further ops
 
+	// Commit-notification state (subscribe.go). subMu is independent of mu:
+	// publishCommit runs after Commit's exclusive section, and delivery is
+	// non-blocking, so subscribers can never stall a committer.
+	subMu      sync.Mutex
+	subs       map[*Subscription]struct{}
+	closedSubs bool // set by closeSubs; further Subscribes get a closed channel
+
 	// testCommitHook, when set (package tests only), runs during Commit's
 	// off-lock encode phase — the seam the cross-shard concurrency pin
 	// uses to hold one shard's commit mid-flight while another completes.
@@ -263,6 +270,7 @@ func (s *Store) Close() error {
 	s.blobs.disable()
 	s.changes.disable()
 	s.results.disable()
+	s.closeSubs()
 	return nil
 }
 
@@ -451,37 +459,50 @@ func (s *Store) Commit(t *table.Table, parent, message string) (*Version, error)
 
 	// Phase 3 (exclusive lock): re-check dedup/conflict — a concurrent
 	// commit may have landed the same content meanwhile — then register
-	// and persist.
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if existing, ok := s.versions[id]; ok {
-		if existing.Parent != parent {
-			return nil, fmt.Errorf("%w: content %s already committed with parent %q, requested parent %q",
-				ErrLineageConflict, id, existing.Parent, parent)
+	// and persist. The closure scopes the critical section so the commit
+	// notification below is published strictly after the lock is released.
+	out, isNew, err := func() (*Version, bool, error) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if existing, ok := s.versions[id]; ok {
+			if existing.Parent != parent {
+				return nil, false, fmt.Errorf("%w: content %s already committed with parent %q, requested parent %q",
+					ErrLineageConflict, id, existing.Parent, parent)
+			}
+			return existing, false, nil
 		}
-		return existing, nil
-	}
-	v.Seq = len(s.order) + 1
-	s.versions[id] = v
-	s.packs[id] = pi
-	s.order = append(s.order, id)
-	if s.dir == "" {
-		s.mem[id] = pack
-	} else if err := s.persist(v, pack); err != nil {
-		// Roll the registration back: a version that never reached disk
-		// must not linger in memory, or a retry would dedup to it and
-		// leave the manifest referencing a pack that was never written
-		// (making the store unopenable after restart).
-		delete(s.versions, id)
-		delete(s.packs, id)
-		s.order = s.order[:len(s.order)-1]
+		v.Seq = len(s.order) + 1
+		s.versions[id] = v
+		s.packs[id] = pi
+		s.order = append(s.order, id)
+		if s.dir == "" {
+			s.mem[id] = pack
+		} else if err := s.persist(v, pack); err != nil {
+			// Roll the registration back: a version that never reached disk
+			// must not linger in memory, or a retry would dedup to it and
+			// leave the manifest referencing a pack that was never written
+			// (making the store unopenable after restart).
+			delete(s.versions, id)
+			delete(s.packs, id)
+			s.order = s.order[:len(s.order)-1]
+			return nil, false, err
+		}
+		// Warm the blob cache: a chain workload's next commit delta-encodes
+		// against exactly this blob, and serve's CSV endpoint is likely to ask
+		// for the newest version first.
+		s.blobs.add(id, blob)
+		return v, true, nil
+	}()
+	if err != nil {
 		return nil, err
 	}
-	// Warm the blob cache: a chain workload's next commit delta-encodes
-	// against exactly this blob, and serve's CSV endpoint is likely to ask
-	// for the newest version first.
-	s.blobs.add(id, blob)
-	return v, nil
+	// Off-lock, and only for genuinely new versions: dedup'd commits (both
+	// the phase-1 early return and the phase-3 re-check) notify nobody, so
+	// subscribers see each version id at most once.
+	if isNew {
+		s.publishCommit(out)
+	}
+	return out, nil
 }
 
 // persist is the two-phase durable commit. Phase one STAGES: the pack is

@@ -12,8 +12,10 @@ import (
 
 // Server is the ChARLES summarization service: an HTTP/JSON API over a
 // VersionStore with an LRU result cache and singleflight deduplication in
-// front of Summarize. See cmd/charles-serve for the standalone binary and
-// the endpoint list.
+// front of Summarize. Commits drive an incrementally maintained per-dataset
+// timeline (one engine step per commit), keeping head-relative POST
+// /timeline answers warm and feeding GET /timeline/watch subscriptions.
+// See cmd/charles-serve for the standalone binary and the endpoint list.
 type Server = serve.Server
 
 // ServerStats snapshots the service's result-cache counters.

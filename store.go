@@ -91,6 +91,37 @@ func MaterializeVersions(src *VersionStore, ids []string) ([]*Table, error) {
 	return history.MaterializeChain(src, ids)
 }
 
+// TimelineMaintainer incrementally maintains a MultiTimeline over a growing
+// version chain: seed it once over the chain so far, then advance it by
+// exactly one engine step per new commit (ExtendFromSource) instead of
+// re-walking the whole lineage — the "query answering under updates"
+// discipline. Its timeline is bit-identical to SummarizeTimelineChain over
+// the same ids.
+type TimelineMaintainer = history.TimelineMaintainer
+
+// NewTimelineMaintainer seeds a maintainer over a materialized chain: the
+// snapshots and their version ids, root→head, at least 2 of each.
+func NewTimelineMaintainer(snaps []*Table, ids []string, base Options) (*TimelineMaintainer, error) {
+	return history.NewTimelineMaintainer(snaps, ids, base)
+}
+
+// CommitNote is one commit notification delivered on a VersionStore
+// subscription (see VersionStore.Subscribe): the Version just committed.
+type CommitNote = store.CommitNote
+
+// StoreSubscription is a live feed of one store's commits. Delivery is
+// non-blocking: a subscriber that falls behind has its oldest pending notes
+// dropped (counted by Dropped) rather than stalling committers.
+type StoreSubscription = store.Subscription
+
+// HubCommitNote is one commit notification from a StoreHub subscription,
+// naming the shard it happened in.
+type HubCommitNote = store.HubCommitNote
+
+// HubSubscription is a live feed of every shard's commits, fanned in by the
+// hub; see StoreHub.Subscribe.
+type HubSubscription = store.HubSubscription
+
 // Predicate is a conjunctive condition over table attributes — the
 // condition half of a CT, also usable standalone for filtering.
 type Predicate = predicate.Predicate
